@@ -1,0 +1,18 @@
+"""Fig. 1b — ADC/DAC energy per conversion vs bit precision.
+
+Regenerates the converter-energy curves that motivate the whole paper:
+ADC energy sits ~2 orders above DAC energy and grows exponentially with
+precision, hitting ~1 nJ at the 16 bits a conventional analog core would
+need for 8-bit operands.
+"""
+
+from repro.analysis import run_fig1b
+from repro.arch import adc_energy_per_conversion
+
+
+def test_fig1b(benchmark):
+    text = benchmark(run_fig1b, 16)
+    print("\n" + text)
+    # Shape checks: exponential growth, >=1 nJ at 16 bits.
+    assert adc_energy_per_conversion(16) >= 0.9e-9
+    assert adc_energy_per_conversion(8) > 2 * adc_energy_per_conversion(6)

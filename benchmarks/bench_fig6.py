@@ -1,0 +1,26 @@
+"""Fig. 6 — spatial utilisation vs #MDPUs (a) and #RNS-MMVMUs (b).
+
+The paper reads 16x32 MMVMUs and 8 arrays off these curves: utilisation
+declines past 32 MDPUs for most models and past 8 arrays; MobileNet is the
+outlier (depthwise convolutions fill tiles poorly).
+"""
+
+from repro.analysis import run_fig6a, run_fig6b
+
+
+def test_fig6a(benchmark):
+    text, series = benchmark(run_fig6a)
+    print("\n" + text)
+    counts = (2, 4, 8, 16, 32, 64, 128, 256)
+    for name, vals in series.items():
+        # Monotone non-increasing utilisation with array height.
+        assert vals[counts.index(32)] >= vals[counts.index(256)] - 1e-9
+    assert min(series, key=lambda n: series[n][0]) == "MobileNet"
+
+
+def test_fig6b(benchmark):
+    text, series = benchmark(run_fig6b)
+    print("\n" + text)
+    counts = (2, 4, 8, 16, 32, 64, 128, 256)
+    for name, vals in series.items():
+        assert vals[counts.index(8)] >= vals[counts.index(256)] - 1e-9

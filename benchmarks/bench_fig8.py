@@ -1,0 +1,40 @@
+"""Fig. 8 — iso-energy and iso-area training comparison, all 7 DNNs.
+
+Regenerates normalised runtime / EDP / power for every Table II format in
+both provisioning scenarios and asserts the paper's headline directions:
+
+* iso-energy: Mirage beats every format on runtime and EDP (23.8x / 32.1x
+  vs FMAC in the paper) while drawing more power;
+* iso-area: INT12 runs faster, but Mirage draws tens of times less power
+  (42.8x in the paper).
+"""
+
+from repro.analysis import run_fig8
+
+
+def _rows(data, fmt, scenario):
+    out = []
+    for res in data.values():
+        for row in res["rows"]:
+            if row.fmt == fmt and row.scenario == scenario:
+                out.append(row)
+    return out
+
+
+def test_fig8(benchmark):
+    text, data = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    print("\n" + text)
+    assert len(data) == 7
+
+    fmac = _rows(data, "FMAC", "iso_energy")
+    assert all(r.runtime_ratio > 3.0 for r in fmac), "Mirage must win runtime"
+    assert all(r.edp_ratio > 1.5 for r in fmac), "Mirage must win EDP"
+    assert all(r.power_ratio < 1.0 for r in fmac), "Mirage draws more power"
+
+    int12 = _rows(data, "INT12", "iso_area")
+    assert all(r.power_ratio > 10.0 for r in int12), "Mirage 10x+ lower power"
+    assert all(r.runtime_ratio < 1.0 for r in int12), "INT12 faster iso-area"
+
+    fp32 = _rows(data, "FP32", "iso_area")
+    assert all(r.runtime_ratio > 1.0 for r in fp32)
+    assert all(r.edp_ratio > 10.0 for r in fp32)

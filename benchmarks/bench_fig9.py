@@ -1,0 +1,26 @@
+"""Fig. 9 — peak power and area breakdowns.
+
+Prints measured-vs-paper component shares and asserts the structural
+claims: SRAM dominates power, data converters are ~1% (the RNS payoff),
+photonics and SRAM dominate area, total power/area near 19.95 W and
+476.6 mm².
+"""
+
+from repro.analysis import run_fig9
+from repro.arch import MirageConfig, area_breakdown, peak_power_breakdown
+
+
+def test_fig9(benchmark):
+    text = benchmark(run_fig9)
+    print("\n" + text)
+
+    power = peak_power_breakdown(MirageConfig())
+    total = sum(power.values())
+    assert 15.0 <= total <= 25.0  # paper: 19.95 W
+    assert power["sram"] == max(power.values())
+    assert power["dac_adc"] / total < 0.05
+
+    area = area_breakdown(MirageConfig())
+    total_a = sum(area.values())
+    assert 400e-6 <= total_a <= 520e-6  # paper: 476.6 mm^2
+    assert area["photonic"] == max(area.values())

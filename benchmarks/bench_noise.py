@@ -1,0 +1,118 @@
+"""Section VI-E — encoding errors, DAC precision and RRNS correction.
+
+Three parts:
+
+1. the Eq. 14 sweep (prints the accumulated-error table; asserts the
+   paper's b_DAC >= 8 result for the 5-bit moduli);
+2. a Monte-Carlo run of the noisy photonic core showing the SNR > m
+   threshold behaviour;
+3. RRNS single-error correction over the noisy channel.
+"""
+
+import numpy as np
+
+from repro.analysis import run_noise_study
+from repro.bfp import BFPConfig, bfp_matmul_exact
+from repro.core import FaultTolerantCore, PhotonicRnsTensorCore
+from repro.photonic import NoiseModel, encoding_error_rate, min_dac_bits
+from repro.rns import RRNSCodec
+
+
+def test_noise_study_table(benchmark):
+    text = benchmark(run_noise_study)
+    print("\n" + text)
+    assert min_dac_bits(16, 31, 5) == 8
+    assert min_dac_bits(16, 32, 5) == 8
+
+
+def test_snr_threshold_monte_carlo(benchmark):
+    """Accuracy of the analog GEMM vs detector SNR: exact above ~2m,
+    broken below m (the paper's laser-sizing rule)."""
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=(16, 32))
+    x = rng.normal(size=(32, 8))
+    ideal = PhotonicRnsTensorCore().matmul(w, x)
+
+    def error_rate(snr):
+        core = PhotonicRnsTensorCore(
+            noise=NoiseModel.from_snr(snr), rng=np.random.default_rng(1)
+        )
+        out = core.matmul(w, x)
+        return float(np.mean(out != ideal))
+
+    rates = benchmark.pedantic(
+        lambda: {snr: error_rate(snr) for snr in (500.0, 66.0, 20.0, 8.0)},
+        rounds=1, iterations=1,
+    )
+    print("\nSNR -> fraction of outputs differing from noiseless:")
+    for snr, rate in rates.items():
+        print(f"  SNR {snr:6.0f}: {rate:.3f}")
+    assert rates[500.0] == 0.0
+    assert rates[8.0] > rates[66.0]
+    assert rates[8.0] > 0.2
+
+
+def test_dac_precision_monte_carlo(benchmark):
+    """End-to-end companion to the Eq. 14 table: error rate of the
+    process-variation MDPU model vs DAC precision (zero by 8 bits)."""
+
+    def sweep():
+        return {
+            bits: float(np.mean([
+                encoding_error_rate(33, 16, bits, trials=150, seed=s)
+                for s in range(4)
+            ]))
+            for bits in (4, 5, 6, 7, 8)
+        }
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nDAC bits -> modular dot-product error rate (m=33, h=16):")
+    for bits, rate in rates.items():
+        print(f"  {bits} bits: {rate:.4f}")
+    assert rates[4] > rates[8]
+    assert rates[8] <= 0.01  # the paper's b_DAC >= 8 conclusion
+
+
+def test_fault_tolerant_core(benchmark):
+    """RRNS-protected GEMM under detector noise: the correction recovers
+    most erroneous outputs (Section VI-E's extension path)."""
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=(8, 32))
+    x = rng.normal(size=(32, 6))
+    ref = bfp_matmul_exact(w, x, BFPConfig(4, 16))
+    noise = NoiseModel.from_snr(25.0)
+
+    def run():
+        plain = PhotonicRnsTensorCore(noise=noise, rng=np.random.default_rng(3))
+        ft = FaultTolerantCore(v=8, noise=noise, rng=np.random.default_rng(3))
+        plain_err = float(np.mean(plain.matmul(w, x) != ref))
+        ft_err = float(np.mean(ft.matmul(w, x) != ref))
+        return plain_err, ft_err, ft.stats
+
+    plain_err, ft_err, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nplain core error rate {plain_err:.3f} -> RRNS-protected "
+          f"{ft_err:.3f} (corrected {stats.corrected}, "
+          f"uncorrectable {stats.uncorrectable} of {stats.outputs})")
+    assert ft_err < plain_err
+
+
+def test_rrns_correction(benchmark):
+    """Single corrupted residue channel per value, corrected by RRNS."""
+    codec = RRNSCodec((31, 32, 33), (37, 41))
+    rng = np.random.default_rng(2)
+    values = rng.integers(0, codec.legal_range, size=16)
+
+    def corrupt_and_decode():
+        enc = codec.encode(values)
+        for j in range(enc.shape[1]):
+            ch = int(rng.integers(0, enc.shape[0]))
+            m = codec.full_set.moduli[ch]
+            enc[ch, j] = (enc[ch, j] + int(rng.integers(1, m))) % m
+        decoded, details = codec.decode(enc)
+        return decoded, details
+
+    decoded, details = benchmark.pedantic(corrupt_and_decode, rounds=1,
+                                          iterations=1)
+    corrected = sum(1 for d in details if d.ok)
+    print(f"\nRRNS corrected {corrected}/{len(values)} corrupted codewords")
+    assert np.array_equal(decoded, values)

@@ -1,0 +1,118 @@
+"""Related-work and robustness benches (Sections VII, VI-E, II-E1).
+
+* DNNARA device-count scaling (one-hot switching vs phase encoding);
+* PipeLayer-style bit-sliced PIM: truncation sweep + efficiency ratios;
+* stay-in-RNS (Res-DNN / RNSnet) vs hybrid inference;
+* base-extension cost/failure (the pure-RNS tax);
+* fabrication-error calibration (Section VI-E);
+* actuation-technology trade-off (Section II-E1);
+* roofline of all workloads on the Section IV-C memory system.
+"""
+
+from repro.analysis import (
+    run_base_extension_study,
+    run_calibration_study,
+    run_dnnara_scaling,
+    run_moduli_search,
+    run_pim_study,
+    run_pipeline_validation,
+    run_pure_rns_study,
+    run_roofline,
+    run_rrns_cost_study,
+    run_technology_tradeoff,
+)
+
+
+def test_dnnara_scaling(benchmark):
+    text = benchmark(run_dnnara_scaling)
+    print("\n" + text)
+    rows = [l for l in text.splitlines() if "|" in l][1:]
+    ratios = [float(r.split("|")[-1]) for r in rows]
+    # O(m log m) vs O(log m): the gap must widen monotonically.
+    assert ratios == sorted(ratios) and ratios[-1] > 100
+
+
+def test_pim_study(benchmark):
+    text = benchmark.pedantic(run_pim_study, rounds=1, iterations=1)
+    print("\n" + text)
+    assert "exact" in text
+    ratio_line = [l for l in text.splitlines() if "OPs/s/W" in l][0]
+    assert abs(float(ratio_line.split("|")[-1].strip().rstrip("x")) - 14.4) < 1.5
+
+
+def test_pure_rns_inference(benchmark, accuracy_setup):
+    text = benchmark.pedantic(
+        lambda: run_pure_rns_study(setup=accuracy_setup),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    assert "relu activation" in text and "tanh activation" in text
+
+
+def test_base_extension(benchmark):
+    text = benchmark(run_base_extension_study)
+    print("\n" + text)
+    assert "Shenoy-Kumaresan" in text
+
+
+def test_calibration(benchmark):
+    text = benchmark.pedantic(run_calibration_study, rounds=1, iterations=1)
+    print("\n" + text)
+    rows = [l for l in text.splitlines() if "|" in l][1:]
+    uncal = float(rows[0].split("|")[-1].strip().rstrip("%"))
+    digit = float(rows[2].split("|")[-1].strip().rstrip("%"))
+    assert uncal > digit  # Section VI-E: calibration removes the errors
+    assert digit < 2.0
+
+
+def test_technology_tradeoff(benchmark):
+    text = benchmark.pedantic(run_technology_tradeoff, rounds=1, iterations=1)
+    print("\n" + text)
+    noems = [l for l in text.splitlines() if l.startswith("NOEMS")][0]
+    thermo = [l for l in text.splitlines() if l.startswith("thermo")][0]
+    assert float(noems.split("|")[-1].strip().rstrip("%")) < 1.0
+    assert float(thermo.split("|")[-1].strip().rstrip("%")) > 50.0
+
+
+def test_roofline(benchmark):
+    text = benchmark(run_roofline)
+    print("\n" + text)
+    assert "ridge point" in text
+    # Every workload must keep a permitted efficiency close to 1 — the
+    # Section IV-C claim that the digital side never throttles the core.
+    for line in [l for l in text.splitlines() if "|" in l][1:]:
+        assert float(line.split("|")[-1]) > 0.9
+
+
+def test_rrns_cost(benchmark):
+    text = benchmark(run_rrns_cost_study)
+    print("\n" + text)
+    rows = [l for l in text.splitlines() if "|" in l][1:]
+    powers = [float(r.split("|")[4].strip().rstrip("x")) for r in rows]
+    assert powers == sorted(powers)  # ~linear growth in r
+    assert all("1.0x" == r.split("|")[-1].strip() for r in rows)  # throughput
+
+
+def test_pipeline_simulation(benchmark):
+    text = benchmark.pedantic(run_pipeline_validation, rounds=1, iterations=1)
+    print("\n" + text)
+    # The long-stream GEMMs must match the closed form to < 1%.
+    long_rows = [l for l in text.splitlines()
+                 if l.startswith(("256x", "512x"))]
+    for row in long_rows:
+        assert abs(float(row.split("|")[3]) - 1.0) < 0.01
+
+
+def test_moduli_search(benchmark):
+    text = benchmark(run_moduli_search)
+    print("\n" + text)
+    assert "special k=5" in text and "shift" in text and "crt" in text
+
+
+def test_inference_mode(benchmark):
+    from repro.analysis import run_inference_mode_study
+
+    text = benchmark(run_inference_mode_study)
+    print("\n" + text)
+    rows = [l for l in text.splitlines() if "|" in l][1:]
+    assert float(rows[1].split("|")[2]) < float(rows[0].split("|")[2])

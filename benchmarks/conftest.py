@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one paper table/figure and prints the rows/series
+the paper reports (captured output is shown with ``pytest -s``).  The
+accuracy benches train real (scaled) models; set ``REPRO_FULL=1`` for the
+longer, closer-to-paper protocol.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import AccuracySetup
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def accuracy_setup():
+    """Quick by default; REPRO_FULL=1 enables the longer protocol."""
+    if FULL:
+        return AccuracySetup(epochs=8, samples_per_class=80, num_classes=8)
+    return AccuracySetup(epochs=4, samples_per_class=40, num_classes=8)

@@ -1,0 +1,72 @@
+"""Stay-in-RNS inference vs Mirage's hybrid arithmetic (Section VII).
+
+Res-DNN and RNSnet keep the whole network in residue form to avoid
+reverse conversions; Mirage converts back to BFP/FP32 after every GEMM.
+This example runs the same float-trained MLP through both pipelines and
+prints what each buys and pays:
+
+* the pure pipeline performs ONE reverse conversion (at the output) but
+  needs in-RNS rescales after every GEMM, sign detections for ReLU, and
+  polynomial fits for smooth activations — and silently wraps when a
+  layer outgrows the moduli set;
+* the hybrid pipeline converts at every layer boundary but every rescale
+  and activation is exact.
+
+Run:  python examples/pure_rns_vs_hybrid.py
+"""
+
+import numpy as np
+
+from repro.arch import (
+    DenseLayer,
+    HybridRnsNetwork,
+    PureRnsConfig,
+    PureRnsNetwork,
+    float_reference_forward,
+)
+
+rng = np.random.default_rng(7)
+
+# A small float-"trained" MLP (random weights suffice to show the
+# numeric behaviour; the benchmark harness uses actually-trained ones).
+layers = [
+    DenseLayer(rng.normal(0, 0.3, (32, 16)), rng.normal(0, 0.05, 32)),
+    DenseLayer(rng.normal(0, 0.3, (32, 32)), rng.normal(0, 0.05, 32)),
+    DenseLayer(rng.normal(0, 0.3, (8, 32)), rng.normal(0, 0.05, 8),
+               apply_activation=False),
+]
+x = rng.normal(0, 1.0, (16, 64))
+reference = float_reference_forward(layers, x)
+
+print(f"{'config':<26} {'pure err':>9} {'hybrid err':>10} "
+      f"{'rescales':>9} {'sign det.':>9} {'conversions':>11} {'wraps':>6}")
+for k, f in ((6, 5), (8, 7), (10, 9)):
+    cfg = PureRnsConfig(k=k, activation_frac_bits=f, weight_frac_bits=f)
+    pure_out, pure_ops = PureRnsNetwork(layers, cfg).forward(x)
+    hybrid_out, hybrid_ops = HybridRnsNetwork(layers, cfg).forward(x)
+    pure_err = np.abs(pure_out - reference).max()
+    hybrid_err = np.abs(hybrid_out - reference).max()
+    conv = hybrid_ops.forward_conversions + hybrid_ops.reverse_conversions
+    print(f"k={k} ({cfg.operand_bits}-bit residues)    "
+          f"{pure_err:>9.4f} {hybrid_err:>10.4f} {pure_ops.rescales:>9} "
+          f"{pure_ops.sign_detections:>9} {conv:>11} {pure_ops.overflows:>6}")
+
+# Push the activations past the k=5 set's range: the pure path wraps
+# silently and the answer is garbage, with no error flag anywhere.
+narrow = PureRnsConfig(k=5, activation_frac_bits=5, weight_frac_bits=5)
+hot_x = x * 8.0
+pure_out, pure_ops = PureRnsNetwork(layers, narrow).forward(hot_x)
+wrapped_err = np.abs(pure_out - float_reference_forward(layers, hot_x)).max()
+print(f"\nk=5 with 8x hotter activations: {pure_ops.overflows} silent wraps, "
+      f"max output error {wrapped_err:.1f} (vs ~0.5 above)")
+
+print("""
+Reading the table:
+* the hybrid path tracks FP64 more closely at every width — its rescale
+  is a real division, the pure path floors in fixed point;
+* pure-RNS trades ~10x fewer conversions for thousands of in-RNS
+  rescales/sign detections, each an O(n^2) mixed-radix circuit;
+* shrink k below the layers' dynamic range and the pure path wraps
+  silently (the 'wraps' column) — the hybrid path cannot, because it
+  re-ranges in float after every GEMM.  This is why Mirage pairs narrow
+  residues with per-GEMM conversions (Section VII).""")

@@ -1,0 +1,46 @@
+"""Mirage reproduction: an RNS-based photonic accelerator for DNN training.
+
+Reproduces Demirkiran et al., ISCA 2024 (arXiv:2311.17323) end to end:
+
+* :mod:`repro.rns` — Residue Number System (moduli sets, conversions,
+  modular tensor arithmetic, redundant-RNS error correction);
+* :mod:`repro.bfp` — Block Floating Point encoding and exact BFP GEMM;
+* :mod:`repro.quant` — baseline number formats (bfloat16, HFP8, INT8/12,
+  FMAC) as pluggable GEMM quantisers;
+* :mod:`repro.nn` — a from-scratch numpy autograd DNN training framework
+  (the PyTorch substitute), with quantised GEMM layers implementing the
+  paper's accuracy model;
+* :mod:`repro.photonic` — device-level functional models (MMU, MDPU,
+  MMVMU), loss budgets, shot/thermal noise, encoding-error analysis;
+* :mod:`repro.arch` — architectural simulator (tiling, dataflows, latency,
+  energy, area, systolic baselines, iso-energy/iso-area comparisons);
+* :mod:`repro.core` — the photonic RNS tensor core executing the full
+  Fig. 2 dataflow, bit-exact against the BFP reference when noiseless;
+* :mod:`repro.analysis` — one experiment generator per paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import PhotonicRnsTensorCore
+
+    core = PhotonicRnsTensorCore()           # bm=4, g=16, k=5, 16x32
+    w = np.random.randn(32, 64)
+    x = np.random.randn(64, 8)
+    y = core.matmul(w, x)                    # full photonic RNS dataflow
+"""
+
+from . import analysis, arch, bfp, core, nn, photonic, quant, rns
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "rns",
+    "bfp",
+    "quant",
+    "nn",
+    "photonic",
+    "arch",
+    "core",
+    "analysis",
+    "__version__",
+]

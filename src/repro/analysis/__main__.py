@@ -1,0 +1,157 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.analysis list
+    python -m repro.analysis fig9
+    python -m repro.analysis table2 fig5b
+    python -m repro.analysis table1 --quick
+    python -m repro.analysis all --quick
+
+Accuracy experiments (fig5a, table1, rounding ablation) train real models
+and take minutes; ``--quick`` shrinks their protocol.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from .accuracy import AccuracySetup
+from . import (
+    run_adc_energy_ablation,
+    run_base_extension_study,
+    run_batch_sweep,
+    run_calibration_study,
+    run_dnnara_scaling,
+    run_inference_mode_study,
+    run_moduli_search,
+    run_pim_study,
+    run_pipeline_validation,
+    run_pure_rns_study,
+    run_roofline,
+    run_rrns_cost_study,
+    run_technology_tradeoff,
+    run_dac_precision_ablation,
+    run_dataflow_ablation,
+    run_inference_qat,
+    run_interleave_sweep,
+    run_master_weight_ablation,
+    run_fig1b,
+    run_fig5a,
+    run_fig5b,
+    run_fig6a,
+    run_fig6b,
+    run_fig7a,
+    run_fig7b,
+    run_fig8,
+    run_fig9,
+    run_moduli_ablation,
+    run_noise_study,
+    run_rounding_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+def _setup(quick: bool) -> AccuracySetup:
+    if quick:
+        return AccuracySetup(epochs=2, samples_per_class=16, num_classes=4)
+    return AccuracySetup(epochs=4, samples_per_class=40, num_classes=8)
+
+
+def build_registry(quick: bool) -> Dict[str, Callable[[], str]]:
+    setup = _setup(quick)
+    return {
+        "fig1b": lambda: run_fig1b(),
+        "fig5a": lambda: run_fig5a(setup=setup)[0],
+        "fig5b": lambda: run_fig5b()[0],
+        "fig6a": lambda: run_fig6a()[0],
+        "fig6b": lambda: run_fig6b()[0],
+        "fig7a": lambda: run_fig7a(),
+        "fig7b": lambda: run_fig7b()[0],
+        "fig8": lambda: run_fig8()[0],
+        "fig9": lambda: run_fig9(),
+        "table1": lambda: run_table1(setup=setup)[0],
+        "table2": lambda: run_table2(),
+        "table3": lambda: run_table3(),
+        "noise": lambda: run_noise_study(),
+        "ablation-moduli": lambda: run_moduli_ablation(),
+        "ablation-rounding": lambda: run_rounding_ablation(setup=setup),
+        "ablation-dac": lambda: run_dac_precision_ablation(),
+        "ablation-adc": lambda: run_adc_energy_ablation(),
+        "ablation-dataflow": lambda: run_dataflow_ablation(),
+        "ablation-interleave": lambda: run_interleave_sweep(),
+        "ablation-batch": lambda: run_batch_sweep(),
+        "ablation-qat": lambda: run_inference_qat(setup=setup),
+        "ablation-master-weights": lambda: run_master_weight_ablation(setup=setup),
+        "sweep": _sweep_text,
+        "dnnara": lambda: run_dnnara_scaling(),
+        "pim": lambda: run_pim_study(),
+        "pure-rns": lambda: run_pure_rns_study(setup=setup),
+        "base-extension": lambda: run_base_extension_study(),
+        "calibration": lambda: run_calibration_study(),
+        "technology": lambda: run_technology_tradeoff(),
+        "roofline": lambda: run_roofline(),
+        "rrns-cost": lambda: run_rrns_cost_study(),
+        "pipeline-sim": lambda: run_pipeline_validation(),
+        "moduli-search": lambda: run_moduli_search(),
+        "inference-mode": lambda: run_inference_mode_study(),
+    }
+
+
+def _sweep_text() -> str:
+    from ..arch import pareto_frontier, sweep_designs
+    from .reporting import format_table
+
+    frontier = pareto_frontier(sweep_designs(workloads=("ResNet18", "VGG16")))
+    return format_table(
+        ["bm", "g", "v", "#arrays", "pJ/MAC", "area mm2", "eff. TMAC/s"],
+        [
+            (p.bm, p.g, p.v, p.num_arrays, p.energy_per_mac * 1e12,
+             p.area / 1e-6, p.effective_macs_per_s / 1e12)
+            for p in frontier
+        ],
+        title="Design-space Pareto frontier (accuracy-feasible points)",
+        float_fmt="{:.3g}",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate Mirage paper tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="+",
+                        help="experiment names, 'list', or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the accuracy-training protocol")
+    args = parser.parse_args(argv)
+    registry = build_registry(args.quick)
+
+    if args.experiments == ["list"]:
+        print("available experiments:")
+        for name in registry:
+            print(f"  {name}")
+        return 0
+
+    names = list(registry) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiments: {unknown}; try 'list'", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.perf_counter()
+        text = registry[name]()
+        elapsed = time.perf_counter() - start
+        print(f"==== {name} ({elapsed:.1f} s) " + "=" * 40)
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

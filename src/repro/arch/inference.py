@@ -1,0 +1,108 @@
+"""Inference-mode throughput and the Table III comparison.
+
+Inference runs the forward GEMMs only.  Throughput is reported as
+inferences per second (IPS), IPS/W and IPS/mm² for ResNet50 and AlexNet at
+batch 1 — matching the published accelerator numbers the paper compares
+against, which are reproduced here as reference constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .accelerator import MirageAccelerator
+from .area import mirage_footprint_area
+from .dataflow import MIRAGE_DATAFLOWS, schedule_opt2
+from .latency import mirage_latency_fn
+from .workloads import LayerShape, TrainingGemm, training_gemms, workload
+
+__all__ = [
+    "inference_latency",
+    "inference_metrics",
+    "PUBLISHED_INFERENCE_ACCELERATORS",
+    "table3_rows",
+]
+
+
+def _forward_gemms(layers: Sequence[LayerShape]) -> List[TrainingGemm]:
+    return [tg for layer in layers for tg in training_gemms(layer) if tg.role == "fwd"]
+
+
+def inference_latency(
+    layers: Sequence[LayerShape],
+    accelerator: Optional[MirageAccelerator] = None,
+) -> float:
+    """Seconds for one forward pass (OPT2 dataflow over forward GEMMs)."""
+    accelerator = accelerator or MirageAccelerator()
+    fn = mirage_latency_fn(accelerator.config)
+    gemms = _forward_gemms(layers)
+    total = 0.0
+    for tg in gemms:
+        total += min(fn(tg, df) for df in MIRAGE_DATAFLOWS)
+    return total
+
+
+def inference_metrics(
+    name: str,
+    batch: int = 16,
+    accelerator: Optional[MirageAccelerator] = None,
+) -> Dict[str, float]:
+    """IPS, IPS/W and IPS/mm² for a named workload at a given batch."""
+    accelerator = accelerator or MirageAccelerator()
+    layers = workload(name, batch=batch)
+    latency = inference_latency(layers, accelerator)
+    ips = batch / latency
+    fwd_macs = sum(tg.gemm.macs for tg in _forward_gemms(layers))
+    energy = accelerator.energy_per_mac * fwd_macs
+    power = energy / latency
+    area_mm2 = mirage_footprint_area(accelerator.config) / 1e-6
+    return {
+        "ips": ips,
+        "ips_per_w": ips / power,
+        "ips_per_mm2": ips / area_mm2,
+        "power_w": power,
+        "latency_s": latency,
+    }
+
+
+# Published numbers reproduced from Table III (reference constants; the
+# cited accelerators are not re-simulated).  None = not reported (N/A).
+PUBLISHED_INFERENCE_ACCELERATORS = {
+    "ADEPT": {
+        "ResNet50": (35698, 1587.99, 50.57),
+        "AlexNet": (217201, 7476.78, 307.64),
+    },
+    "Albireo-C": {"ResNet50": None, "AlexNet": (7692, 344.17, 61.46)},
+    "DNNARA": {"ResNet50": (9345, 100.0, 42.05), "AlexNet": None},
+    "HolyLight": {"ResNet50": None, "AlexNet": (50000, 900.0, 2226.11)},
+    "Eyeriss": {"ResNet50": None, "AlexNet": (35, 124.80, 2.85)},
+    "Eyeriss v2": {"ResNet50": None, "AlexNet": (102, 174.80, None)},
+    "TPU v3": {"ResNet50": (32716, 18.18, 18.00), "AlexNet": None},
+    "UNPU": {"ResNet50": None, "AlexNet": (346, 1097.50, 21.62)},
+    "Res-DNN": {"ResNet50": None, "AlexNet": (386.11, 427.78, None)},
+}
+
+# Paper-reported Mirage row of Table III, for shape validation.
+PAPER_MIRAGE_TABLE3 = {
+    "ResNet50": (10474, 1540.6, 43.2),
+    "AlexNet": (64963, 1904.5, 267.67),
+}
+
+
+def table3_rows(accelerator: Optional[MirageAccelerator] = None, batch: int = 16):
+    """(accelerator, model, ips, ips_per_w, ips_per_mm2) rows for Table III."""
+    accelerator = accelerator or MirageAccelerator()
+    rows = []
+    for model in ("ResNet50", "AlexNet"):
+        metrics = inference_metrics(model, batch=batch, accelerator=accelerator)
+        rows.append(
+            ("Mirage (measured)", model, metrics["ips"], metrics["ips_per_w"],
+             metrics["ips_per_mm2"])
+        )
+    for name, per_model in PUBLISHED_INFERENCE_ACCELERATORS.items():
+        for model, vals in per_model.items():
+            if vals is None:
+                continue
+            rows.append((name, model, vals[0], vals[1], vals[2]))
+    return rows

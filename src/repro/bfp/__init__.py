@@ -1,0 +1,21 @@
+"""Block Floating Point substrate (shared-exponent integer groups)."""
+
+from .format import BFPBlock, BFPConfig, decode_groups, encode_groups, quantize_tensor
+from .gemm import (
+    bfp_encode_matrix,
+    bfp_matmul_exact,
+    bfp_matmul_fast,
+    max_dot_magnitude,
+)
+
+__all__ = [
+    "BFPConfig",
+    "BFPBlock",
+    "encode_groups",
+    "decode_groups",
+    "quantize_tensor",
+    "bfp_encode_matrix",
+    "bfp_matmul_exact",
+    "bfp_matmul_fast",
+    "max_dot_magnitude",
+]

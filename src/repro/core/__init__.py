@@ -1,0 +1,17 @@
+"""The paper's primary contribution: the photonic RNS tensor core and its
+end-to-end dataflow."""
+
+from .fabricated import FabricatedTensorCore
+from .fault_tolerant import FaultTolerantCore, FaultTolerantStats
+from .pipeline import PhotonicExecutor, compare_with_reference
+from .tensor_core import CoreConfig, PhotonicRnsTensorCore
+
+__all__ = [
+    "CoreConfig",
+    "PhotonicRnsTensorCore",
+    "PhotonicExecutor",
+    "compare_with_reference",
+    "FaultTolerantCore",
+    "FaultTolerantStats",
+    "FabricatedTensorCore",
+]

@@ -1,0 +1,99 @@
+"""Layer- and network-level orchestration over the photonic core.
+
+Ties the functional tensor core to the nn substrate: a
+:class:`PhotonicExecutor` runs Linear/Conv2d layers of a trained model
+through the full device-model dataflow (including, optionally, analog
+noise), enabling end-to-end "would this network still work on the real
+hardware" evaluations — the Monte-Carlo noise studies of Section VI-E.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.conv import Conv2d, conv_output_size, im2col
+from ..nn.layers import Linear, Module, Sequential
+from ..nn.tensor import Tensor, no_grad
+from ..photonic.mdpu import NoiseModel
+from .tensor_core import CoreConfig, PhotonicRnsTensorCore
+
+__all__ = ["PhotonicExecutor", "compare_with_reference"]
+
+
+class PhotonicExecutor:
+    """Executes a model's GEMM layers on the photonic tensor core.
+
+    Non-GEMM layers (activations, pooling, norm) run digitally in FP32 —
+    exactly the paper's split (Fig. 2 step 10).
+    """
+
+    def __init__(
+        self,
+        config: Optional[CoreConfig] = None,
+        noise: Optional[NoiseModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.core = PhotonicRnsTensorCore(config, noise, rng)
+
+    # ------------------------------------------------------------------
+    def linear(self, layer: Linear, x: np.ndarray) -> np.ndarray:
+        """Run a Linear layer: ``x @ W^T + b`` via the core."""
+        out = self.core.matmul(layer.weight.data, np.asarray(x).T).T
+        if layer.bias is not None:
+            out = out + layer.bias.data
+        return out
+
+    def conv2d(self, layer: Conv2d, x: np.ndarray) -> np.ndarray:
+        """Run a Conv2d layer via its im2col GEMM on the core."""
+        if layer.groups != 1:
+            raise NotImplementedError("grouped conv on the photonic core")
+        k, s, p = layer.kernel_size, layer.stride, layer.padding
+        n, c_in, h, w_dim = x.shape
+        oh = conv_output_size(h, k, s, p)
+        ow = conv_output_size(w_dim, k, s, p)
+        cols = im2col(np.asarray(x, dtype=np.float64), k, s, p)  # (N, CKK, L)
+        w_flat = layer.weight.data.reshape(layer.out_channels, -1)
+        outs = []
+        for i in range(n):
+            outs.append(self.core.matmul(w_flat, cols[i]))  # (C_out, L)
+        out = np.stack(outs).reshape(n, layer.out_channels, oh, ow)
+        if layer.bias is not None:
+            out = out + layer.bias.data.reshape(1, -1, 1, 1)
+        return out
+
+    # ------------------------------------------------------------------
+    def run_sequential(self, model: Sequential, x: np.ndarray) -> np.ndarray:
+        """Forward a Sequential model, routing GEMM layers to the core."""
+        data = np.asarray(x, dtype=np.float64)
+        with no_grad():
+            for layer in model:
+                if isinstance(layer, Conv2d) and layer.groups == 1:
+                    data = self.conv2d(layer, data)
+                elif isinstance(layer, Linear):
+                    data = self.linear(layer, data)
+                else:
+                    data = layer(Tensor(data)).data
+        return data
+
+
+def compare_with_reference(
+    model: Sequential,
+    x: np.ndarray,
+    config: Optional[CoreConfig] = None,
+    noise: Optional[NoiseModel] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Run a model digitally (FP64) and on the photonic core; report the
+    output deviation and prediction agreement."""
+    executor = PhotonicExecutor(config, noise, rng)
+    photonic = executor.run_sequential(model, x)
+    with no_grad():
+        reference = model(Tensor(np.asarray(x, dtype=np.float64))).data
+    denom = np.maximum(np.max(np.abs(reference)), 1e-12)
+    max_rel = float(np.max(np.abs(photonic - reference)) / denom)
+    agree = float(
+        np.mean(photonic.argmax(axis=-1) == reference.argmax(axis=-1))
+    )
+    return {"max_rel_error": max_rel, "prediction_agreement": agree}

@@ -1,0 +1,164 @@
+"""The photonic RNS tensor core — the paper's primary contribution.
+
+:class:`PhotonicRnsTensorCore` executes a full GEMM through the complete
+Fig. 2 dataflow:
+
+1.  tile the FP operands to the array geometry,
+2.  convert tiles to BFP (shared exponents, ``bm``-bit mantissae),
+3.  forward-convert signed mantissae to RNS residues,
+4.  program weight residues / stream input residues,
+5.  run the modular MVMs on the photonic device model
+    (:class:`~repro.photonic.mdpu.RnsMMVMU` — phases, wrap, detection),
+6.  digitise via the I/Q detectors' ADCs,
+7.  reverse-convert residues to signed integers (CRT / special-set),
+8.  rebuild FP values with the exponent path,
+9.  accumulate partial outputs in FP32 fashion (float64 here),
+10. (nonlinearities stay outside the core, as in the paper).
+
+In the noiseless configuration the result is **bit-exact** against
+:func:`repro.bfp.bfp_matmul_exact` — this is the correctness property that
+makes RNS-based analog computing lossless, and the test suite asserts it
+property-based.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..bfp.format import BFPConfig
+from ..bfp.gemm import bfp_encode_matrix
+from ..photonic.mdpu import NoiseModel, RnsMMVMU
+from ..rns.conversion import forward_convert_signed, to_signed
+from ..rns.moduli import ModuliSet, choose_k_min, special_moduli_set
+
+__all__ = ["CoreConfig", "PhotonicRnsTensorCore"]
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Functional-core parameters (defaults = the paper's design point)."""
+
+    bm: int = 4
+    g: int = 16
+    v: int = 32
+    k: Optional[int] = 5  # None -> choose_k_min(bm, g)
+    rounding: str = "truncate"
+
+    def resolved_k(self) -> int:
+        return self.k if self.k is not None else choose_k_min(self.bm, self.g)
+
+    def moduli(self) -> ModuliSet:
+        return special_moduli_set(self.resolved_k())
+
+    def bfp(self) -> BFPConfig:
+        return BFPConfig(self.bm, self.g, self.rounding)
+
+
+class PhotonicRnsTensorCore:
+    """Functional model of one RNS-MMVMU executing tiled GEMMs.
+
+    Parameters
+    ----------
+    config:
+        Geometry and number formats.
+    noise:
+        Analog noise model (None = ideal, bit-exact).
+    rng:
+        Random generator for the stochastic parts of the noise model.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CoreConfig] = None,
+        noise: Optional[NoiseModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.config = config or CoreConfig()
+        self.mset = self.config.moduli()
+        if not self.mset.supports_bfp(self.config.bm, self.config.g):
+            raise ValueError(
+                f"Eq. 13 violated: k={self.config.resolved_k()} cannot hold "
+                f"bm={self.config.bm}, g={self.config.g} dot products"
+            )
+        self.engine = RnsMMVMU(
+            self.mset, self.config.g, self.config.v, noise, rng
+        )
+        self._tiles_programmed = 0
+        self._mvm_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Stats (consumed by examples / tests)
+    # ------------------------------------------------------------------
+    @property
+    def tiles_programmed(self) -> int:
+        return self._tiles_programmed
+
+    @property
+    def mvm_cycles(self) -> int:
+        return self._mvm_cycles
+
+    def reset_stats(self) -> None:
+        self._tiles_programmed = 0
+        self._mvm_cycles = 0
+
+    # ------------------------------------------------------------------
+    def matmul(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """``w @ x`` through the full photonic RNS dataflow.
+
+        ``w``: (R, K) weights; ``x``: (K, C) inputs; returns (R, C) float64.
+        """
+        w = np.asarray(w, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        if w.ndim != 2 or x.ndim != 2 or w.shape[1] != x.shape[0]:
+            raise ValueError(f"bad GEMM shapes {w.shape} @ {x.shape}")
+        cfg = self.config
+        r, big_k = w.shape
+        c = x.shape[1]
+
+        # Step 2: BFP encode — weight rows and input columns group along K.
+        w_mant, w_exp = bfp_encode_matrix(w, cfg.bfp())  # (R, G, g)
+        x_mant, x_exp = bfp_encode_matrix(x.T, cfg.bfp())  # (C, G, g)
+        num_groups = w_mant.shape[1]
+
+        out = np.zeros((r, c), dtype=np.float64)
+        row_tiles = -(-r // cfg.v)
+        for gi in range(num_groups):
+            # Step 3: forward conversion of this K-group's mantissae.
+            w_res = forward_convert_signed(w_mant[:, gi, :], self.mset)  # (n, R, g)
+            x_res = forward_convert_signed(x_mant[:, gi, :], self.mset)  # (n, C, g)
+            for rt in range(row_tiles):
+                lo, hi = rt * cfg.v, min(r, (rt + 1) * cfg.v)
+                tile = np.zeros((self.mset.n, cfg.v, cfg.g), dtype=np.int64)
+                tile[:, : hi - lo, :] = w_res[:, lo:hi, :]
+                self._tiles_programmed += 1
+                # Steps 4-6: program tile, stream the C input vectors.
+                res_out = self.engine.mvm(tile, x_res)  # (n, C, v)
+                self._mvm_cycles += c
+                # Step 7: reverse conversion to signed integers.
+                ints = to_signed(
+                    _crt(res_out, self.mset), self.mset
+                ).astype(np.float64)  # (C, v) per channel -> (C, v)
+                # Step 8: exponent path — scale by shared exponents.
+                scale = np.ldexp(
+                    1.0,
+                    (x_exp[:, gi][:, None] + w_exp[lo:hi, gi][None, :])
+                    - 2 * cfg.bm,
+                )  # (C, hi-lo)
+                partial = ints[:, : hi - lo] * scale
+                # Step 9: accumulate partial outputs.
+                out[lo:hi, :] += partial.T
+        return out
+
+    def mvm(self, w: np.ndarray, x_vec: np.ndarray) -> np.ndarray:
+        """Single MVM convenience wrapper: ``w @ x_vec``."""
+        return self.matmul(w, np.asarray(x_vec, dtype=np.float64)[:, None])[:, 0]
+
+
+def _crt(residues: np.ndarray, mset: ModuliSet) -> np.ndarray:
+    from ..rns.conversion import crt_reverse
+
+    return crt_reverse(residues, mset)

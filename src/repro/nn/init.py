@@ -1,0 +1,43 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "normal_"]
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """He-style uniform init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    rng = rng or np.random.default_rng()
+    bound = 1.0 / math.sqrt(max(1, fan_in))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Glorot uniform init: U(-sqrt(6/(fan_in+fan_out)), +...)."""
+    rng = rng or np.random.default_rng()
+    bound = math.sqrt(6.0 / max(1, fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal_(
+    shape: Tuple[int, ...],
+    std: float = 0.02,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Zero-mean Gaussian init."""
+    rng = rng or np.random.default_rng()
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,75 @@
+"""Model checkpointing: save/load parameters and batch-norm statistics.
+
+Parameters travel through ``state_dict``; batch-norm running statistics
+(which are buffers, not parameters) are captured separately so a restored
+model evaluates identically — including in ``eval()`` mode.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Union
+
+import numpy as np
+
+from .layers import Module, _BatchNorm
+
+__all__ = ["save_model", "load_model", "collect_buffers", "restore_buffers"]
+
+_BUFFER_PREFIX = "__buffer__"
+
+
+def _named_modules(module: Module, prefix: str = ""):
+    yield prefix.rstrip("."), module
+    for key, value in vars(module).items():
+        name = f"{prefix}{key}"
+        if isinstance(value, Module):
+            yield from _named_modules(value, f"{name}.")
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                if isinstance(item, Module):
+                    yield from _named_modules(item, f"{name}.{i}.")
+
+
+def collect_buffers(model: Module) -> Dict[str, np.ndarray]:
+    """Batch-norm running statistics keyed by dotted module path."""
+    buffers: Dict[str, np.ndarray] = {}
+    for name, mod in _named_modules(model):
+        if isinstance(mod, _BatchNorm):
+            buffers[f"{name}.running_mean"] = mod.running_mean.copy()
+            buffers[f"{name}.running_var"] = mod.running_var.copy()
+    return buffers
+
+
+def restore_buffers(model: Module, buffers: Dict[str, np.ndarray]) -> None:
+    """Inverse of :func:`collect_buffers`."""
+    modules = dict(_named_modules(model))
+    for key, value in buffers.items():
+        path, _, attr = key.rpartition(".")
+        mod = modules.get(path)
+        if mod is None or not hasattr(mod, attr):
+            raise KeyError(f"no batch-norm buffer at {key!r}")
+        setattr(mod, attr, np.asarray(value, dtype=np.float64).copy())
+
+
+def save_model(model: Module, path: Union[str, pathlib.Path]) -> None:
+    """Serialise parameters + buffers to a ``.npz`` file."""
+    payload = dict(model.state_dict())
+    for key, value in collect_buffers(model).items():
+        payload[_BUFFER_PREFIX + key] = value
+    np.savez(path, **payload)
+
+
+def load_model(model: Module, path: Union[str, pathlib.Path]) -> Module:
+    """Restore a model saved with :func:`save_model` (in place)."""
+    data = np.load(path)
+    params = {}
+    buffers = {}
+    for key in data.files:
+        if key.startswith(_BUFFER_PREFIX):
+            buffers[key[len(_BUFFER_PREFIX):]] = data[key]
+        else:
+            params[key] = data[key]
+    model.load_state_dict(params)
+    restore_buffers(model, buffers)
+    return model

@@ -1,0 +1,228 @@
+"""Thermal crosstalk and the actuation-technology trade-off (Sec. II-E1).
+
+The paper's device discussion groups phase-shifter actuation into three
+mechanisms — thermo-optic (efficient but KHz-slow, heater crosstalk),
+free-carrier dispersion (tens of GHz but lossy and long), and N/MOEMS
+(moderate speed, low loss, negligible static power) — and Mirage picks
+NOEMS shifters gated by MRR switches.  This module makes the comparison
+executable:
+
+* :class:`DeviceTechnology` — one actuation mechanism's metrics, with
+  the three paper technologies as module constants;
+* :func:`coupling_matrix` / :func:`crosstalk_error_rate` — a 1-D
+  exponential-decay thermal-leakage model over the MMU segment chain and
+  the residue error rate it induces (heaters couple whether or not the
+  light takes the arm, so every driven segment leaks into every other);
+* :func:`technology_comparison` — per-technology MMU length, optical
+  loss, tile-load overhead, static power and crosstalk error — the
+  quantified version of the paper's qualitative Section II-E1 table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from . import constants as C
+from .mmu import TWO_PI, phase_to_level, wrap_phase
+
+__all__ = [
+    "DeviceTechnology",
+    "THERMO_OPTIC",
+    "FREE_CARRIER",
+    "NOEMS",
+    "TECHNOLOGIES",
+    "coupling_matrix",
+    "crosstalk_error_rate",
+    "mmu_length_for",
+    "technology_comparison",
+]
+
+
+@dataclass(frozen=True)
+class DeviceTechnology:
+    """Phase-shifter actuation mechanism metrics (Section II-E1).
+
+    Attributes
+    ----------
+    name:
+        Mechanism label.
+    vpi_l:
+        Modulation efficiency in V*m (lower = shorter device).
+    loss_db_per_m:
+        Propagation loss of the active section.
+    modulation_bandwidth_hz:
+        How fast the drive can change — bounds the clock when the
+        shifter must be reprogrammed every cycle (DF3-style dataflows).
+    reprogram_time_s:
+        Settling time for a tile load (weight-stationary dataflows).
+    static_power_w:
+        Holding power per shifter (heaters dissipate continuously).
+    thermal_coupling:
+        Nearest-neighbour phase leakage fraction for the crosstalk
+        model; decays exponentially with segment distance.
+    """
+
+    name: str
+    vpi_l: float
+    loss_db_per_m: float
+    modulation_bandwidth_hz: float
+    reprogram_time_s: float
+    static_power_w: float
+    thermal_coupling: float
+
+
+# The paper's three mechanism groups with representative literature
+# values.  NOEMS matches repro.photonic.constants (the Mirage choice);
+# the other two are typical silicon-photonics figures consistent with
+# the paper's qualitative description (KHz heaters / lossy tens-of-GHz
+# depletion shifters).
+THERMO_OPTIC = DeviceTechnology(
+    name="thermo-optic",
+    vpi_l=0.001 * 1e-2,  # very efficient
+    loss_db_per_m=0.5e3,  # 0.5 dB/mm
+    modulation_bandwidth_hz=5e3,  # "a few KHz"
+    reprogram_time_s=2e-4,
+    static_power_w=10e-3,  # heater holding power
+    thermal_coupling=0.05,
+)
+FREE_CARRIER = DeviceTechnology(
+    name="free-carrier",
+    vpi_l=0.2 * 1e-2,  # 0.2 V*cm — long devices
+    loss_db_per_m=0.5e3,
+    modulation_bandwidth_hz=30e9,
+    reprogram_time_s=0.1e-9,
+    static_power_w=0.0,
+    thermal_coupling=1e-3,
+)
+NOEMS = DeviceTechnology(
+    name="NOEMS",
+    vpi_l=C.V_PI_L,
+    loss_db_per_m=C.PHASE_SHIFTER_LOSS_DB_PER_M,
+    modulation_bandwidth_hz=300e6,  # "up to a few hundred MHz"
+    reprogram_time_s=C.PHASE_SHIFTER_REPROGRAM_TIME,
+    static_power_w=0.0,
+    thermal_coupling=1e-4,
+)
+TECHNOLOGIES = (THERMO_OPTIC, FREE_CARRIER, NOEMS)
+
+
+def mmu_length_for(tech: DeviceTechnology, modulus: int,
+                   v_bias: float = C.V_BIAS) -> float:
+    """Total phase-shifter length (m) for one MMU at ``modulus`` (Eq. 11)."""
+    if modulus < 2:
+        raise ValueError("modulus must be >= 2")
+    delta_phi_max = math.ceil((modulus - 1) ** 2 / 2) * TWO_PI / modulus
+    return tech.vpi_l / v_bias * delta_phi_max / math.pi
+
+
+def coupling_matrix(
+    num_segments: int,
+    coupling: float,
+    decay_segments: float = 2.0,
+) -> np.ndarray:
+    """Symmetric thermal-leakage matrix over a 1-D chain of segments.
+
+    ``C[i, j] = coupling * exp(-(|i - j| - 1) / decay_segments)`` for
+    ``i != j`` — nearest neighbours leak ``coupling`` of their drive
+    phase, falling off exponentially with distance; the diagonal is
+    zero (self-coupling is the drive itself).
+    """
+    if num_segments < 1:
+        raise ValueError("num_segments must be >= 1")
+    if coupling < 0:
+        raise ValueError("coupling must be >= 0")
+    idx = np.arange(num_segments)
+    dist = np.abs(idx[:, None] - idx[None, :]).astype(np.float64)
+    mat = coupling * np.exp(-(dist - 1.0) / decay_segments)
+    np.fill_diagonal(mat, 0.0)
+    return mat
+
+
+def crosstalk_error_rate(
+    modulus: int,
+    g: int,
+    coupling: float,
+    trials: int = 300,
+    decay_segments: float = 2.0,
+    arm_asymmetry: float = 0.1,
+    seed: int = 0,
+) -> float:
+    """Fraction of modular dot products decided wrongly under leakage.
+
+    Every segment is continuously driven at ``w_j * 2^d * 2pi / m``
+    (heaters hold their phase whether or not light takes the arm) and
+    leaks into its neighbours with the exponential profile of
+    :func:`coupling_matrix`.  The dual-rail (+V/-V) arms cancel the
+    common-mode part of that leakage; what reaches the detected phase is
+    the *differential* residue, modelled as a per-pair fabrication
+    asymmetry of ``arm_asymmetry`` (std, relative) drawn once per
+    instance.  The decision error rate versus ``coupling`` separates
+    thermo-optic designs from MRR/NOEMS ones — the Section II-E1
+    argument.
+    """
+    if modulus < 2 or g < 1:
+        raise ValueError("modulus must be >= 2 and g >= 1")
+    if arm_asymmetry < 0:
+        raise ValueError("arm_asymmetry must be >= 0")
+    digits = max(1, math.ceil(math.log2(modulus)))
+    segments = g * digits
+    rng = np.random.default_rng(seed)
+    # Fabrication-time differential asymmetry of each leak path.
+    asym = rng.normal(0.0, arm_asymmetry, size=(segments, segments))
+    mat = coupling_matrix(segments, coupling, decay_segments) * asym
+    step = TWO_PI / modulus
+    powers = (1 << np.arange(digits)).astype(np.int64)
+
+    x = rng.integers(0, modulus, size=(trials, g))
+    w = rng.integers(0, modulus, size=(trials, g))
+
+    # Driven phase per segment: (trials, g, digits) flattened per trial.
+    driven = (w[:, :, None] * powers[None, None, :] * step).reshape(trials, -1)
+    bits = ((x[:, :, None] >> np.arange(digits)[None, None, :]) & 1
+            ).reshape(trials, -1).astype(np.float64)
+    leak = driven @ mat.T  # differential phase leaked *into* each segment
+    total = ((driven + leak) * bits).sum(axis=1)
+    got = phase_to_level(wrap_phase(total), modulus)
+    want = np.mod((x.astype(np.int64) * w).sum(axis=1), modulus)
+    return float(np.mean(got != want))
+
+
+def technology_comparison(
+    modulus: int = 33,
+    g: int = 16,
+    cycles_per_tile: int = 256,
+    technologies: Optional[Sequence[DeviceTechnology]] = None,
+    trials: int = 200,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Quantified Section II-E1 table: one row per actuation mechanism.
+
+    Columns: MMU shifter length, per-MMU worst-case loss, tile-load
+    overhead fraction (reprogram time against ``cycles_per_tile`` photonic
+    cycles of useful work), static heater power per MMU, and the
+    crosstalk-induced residue error rate.  NOEMS should win on the
+    combination — the executable justification for Mirage's choice.
+    """
+    techs = TECHNOLOGIES if technologies is None else tuple(technologies)
+    digits = max(1, math.ceil(math.log2(modulus)))
+    compute_time = cycles_per_tile / C.PHOTONIC_CLOCK_HZ
+    rows = []
+    for tech in techs:
+        length = mmu_length_for(tech, modulus)
+        loss_db = length * tech.loss_db_per_m
+        overhead = tech.reprogram_time_s / (tech.reprogram_time_s + compute_time)
+        rows.append({
+            "technology": tech.name,
+            "mmu_length_mm": length * 1e3,
+            "mmu_loss_db": loss_db,
+            "tile_load_overhead": overhead,
+            "static_power_mw_per_mmu": tech.static_power_w * digits * 1e3,
+            "crosstalk_error_rate": crosstalk_error_rate(
+                modulus, g, tech.thermal_coupling, trials=trials, seed=seed
+            ),
+        })
+    return rows

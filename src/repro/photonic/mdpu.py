@@ -1,0 +1,169 @@
+"""MDPU, MMVMU and RNS-MMVMU functional models (Fig. 4a).
+
+* An **MDPU** cascades ``g`` MMUs on one waveguide; the phase contributions
+  add (Eq. 12) and one I/Q detection at the end reads the modular dot
+  product.
+* An **MMVMU** stacks ``v`` MDPUs sharing the broadcast input vector — one
+  modular MVM per cycle.
+* An **RNS-MMVMU** groups ``n`` MMVMUs, one per modulus, executing the
+  ``n`` modular MVMs of an RNS GEMM tile in parallel.
+
+These models operate on residue arrays and compute *physical phases* in
+float64 (wrapped mod 2π) before the detection stage, so every analog
+imperfection — phase-encoding error, shot/thermal current noise, ADC
+quantisation — can be injected where it occurs in hardware.  Noiseless,
+they are bit-exact against :func:`repro.rns.mod_matmul`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..rns.moduli import ModuliSet
+from .detection import PhaseDetector
+from .mmu import MMU, TWO_PI, wrap_phase
+
+__all__ = ["MDPU", "MMVMU", "RnsMMVMU", "NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Bundle of analog imperfections for the photonic path.
+
+    Attributes
+    ----------
+    phase_error_std:
+        Per-digit phase-encoding error std (rad) in the MMUs.
+    detector_noise_std:
+        Current-domain noise std at each detector, as a fraction of the
+        detection amplitude (i.e. ``1 / amplitude-SNR``).
+    use_adc:
+        Whether detection quantises I/Q at ``ceil(log2 m)`` bits.
+    """
+
+    phase_error_std: float = 0.0
+    detector_noise_std: float = 0.0
+    use_adc: bool = True
+
+    @classmethod
+    def ideal(cls) -> "NoiseModel":
+        return cls(0.0, 0.0, True)
+
+    @classmethod
+    def from_snr(cls, snr: float, use_adc: bool = True) -> "NoiseModel":
+        """Detector noise for a given amplitude SNR."""
+        if snr <= 0:
+            raise ValueError("snr must be positive")
+        return cls(0.0, 1.0 / snr, use_adc)
+
+
+class MDPU:
+    """Modular dot-product unit: ``g`` cascaded MMUs + one phase detector."""
+
+    def __init__(
+        self,
+        modulus: int,
+        g: int,
+        noise: Optional[NoiseModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if g < 1:
+            raise ValueError(f"g must be >= 1, got {g}")
+        self.modulus = modulus
+        self.g = g
+        self.noise = noise or NoiseModel.ideal()
+        self.rng = rng or np.random.default_rng()
+        self.mmu = MMU(modulus, self.noise.phase_error_std, self.rng)
+        self.detector = PhaseDetector(
+            modulus,
+            amplitude=1.0,
+            noise_std=self.noise.detector_noise_std,
+            use_adc=self.noise.use_adc,
+            rng=self.rng,
+        )
+
+    def dot(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """``| x . w |_m`` for residue vectors of length ``g``.
+
+        Supports batched inputs: the last axis is the ``g`` axis.
+        """
+        x = np.asarray(x, dtype=np.int64)
+        w = np.asarray(w, dtype=np.int64)
+        if x.shape[-1] != self.g or w.shape[-1] != self.g:
+            raise ValueError(f"operand g-axis must be {self.g}")
+        phase = self.mmu.phase(x, w).sum(axis=-1)
+        return self.detector.detect_level(wrap_phase(phase))
+
+
+class MMVMU:
+    """Modular MVM unit: ``v`` MDPUs sharing the broadcast input vector."""
+
+    def __init__(
+        self,
+        modulus: int,
+        g: int,
+        v: int,
+        noise: Optional[NoiseModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if v < 1:
+            raise ValueError(f"v must be >= 1, got {v}")
+        self.modulus = modulus
+        self.g = g
+        self.v = v
+        self.mdpu = MDPU(modulus, g, noise, rng)
+
+    def mvm(self, weight_tile: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Modular MVM: tile ``(v, g)`` times vector ``(..., g)``.
+
+        Returns residues of shape ``(..., v)``.  Batched vectors model the
+        cycle-by-cycle streaming of a tiled GEMM.
+        """
+        weight_tile = np.asarray(weight_tile, dtype=np.int64)
+        if weight_tile.shape != (self.v, self.g):
+            raise ValueError(
+                f"weight tile must be {(self.v, self.g)}, got {weight_tile.shape}"
+            )
+        x = np.asarray(x, dtype=np.int64)
+        # Broadcast: (..., 1, g) against (v, g) -> (..., v, g).
+        return self.mdpu.dot(x[..., None, :], weight_tile)
+
+
+class RnsMMVMU:
+    """``n`` MMVMUs — one per modulus — forming the RNS tile engine."""
+
+    def __init__(
+        self,
+        mset: ModuliSet,
+        g: int,
+        v: int,
+        noise: Optional[NoiseModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.mset = mset
+        self.g = g
+        self.v = v
+        rng = rng or np.random.default_rng()
+        self.units = [
+            MMVMU(m, g, v, noise, np.random.default_rng(rng.integers(2**63)))
+            for m in mset.moduli
+        ]
+
+    def mvm(self, weight_residues: np.ndarray, x_residues: np.ndarray) -> np.ndarray:
+        """All ``n`` modular MVMs of one tile.
+
+        ``weight_residues``: ``(n, v, g)``; ``x_residues``: ``(n, ..., g)``.
+        Returns ``(n, ..., v)``.
+        """
+        weight_residues = np.asarray(weight_residues, dtype=np.int64)
+        x_residues = np.asarray(x_residues, dtype=np.int64)
+        if weight_residues.shape[0] != self.mset.n or x_residues.shape[0] != self.mset.n:
+            raise ValueError("leading axis must match the number of moduli")
+        outs = [
+            unit.mvm(weight_residues[i], x_residues[i])
+            for i, unit in enumerate(self.units)
+        ]
+        return np.stack(outs, axis=0)

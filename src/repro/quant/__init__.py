@@ -1,0 +1,21 @@
+"""Number-format emulations for baseline comparisons (Table I / Table II)."""
+
+from .formats import (
+    AVAILABLE_FORMATS,
+    GemmQuantizer,
+    make_quantizer,
+    quantize_bfloat16,
+    quantize_fp16,
+    quantize_int,
+    quantize_minifloat,
+)
+
+__all__ = [
+    "GemmQuantizer",
+    "make_quantizer",
+    "AVAILABLE_FORMATS",
+    "quantize_bfloat16",
+    "quantize_fp16",
+    "quantize_int",
+    "quantize_minifloat",
+]

@@ -1,0 +1,206 @@
+"""Baseline number-format emulations used for the Table I/II comparisons.
+
+Each format is a :class:`GemmQuantizer`: a pair of operand transforms that
+are applied to the two GEMM operands in the accuracy model (forward GEMM and
+both backward GEMMs, per Section V-A).  All formats fake-quantise, i.e. they
+return float64 tensors whose values are exactly representable in the target
+format, so the surrounding autograd code is unchanged.
+
+Formats:
+
+* ``fp32``      — identity at float32 resolution (the training baseline).
+* ``bfloat16``  — 8-bit exponent, 7-bit mantissa truncation of float32.
+* ``fp16``      — IEEE half precision.
+* ``int8``/``int12`` — per-tensor symmetric dynamic quantisation.
+* ``hfp8``      — hybrid FP8 (Sun et al. [59]): 1-4-3 forward, 1-5-2 for
+  gradients in the backward pass.
+* ``fmac``      — variable-precision block FP with stochastic rounding
+  (Zhang et al. [69]), emulated as BFP(bm=4, g=16) with stochastic rounding.
+* ``mirage``    — BFP(bm, g) with truncation, the Mirage accuracy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..bfp import BFPConfig, quantize_tensor
+
+__all__ = [
+    "GemmQuantizer",
+    "quantize_bfloat16",
+    "quantize_fp16",
+    "quantize_int",
+    "quantize_minifloat",
+    "make_quantizer",
+    "AVAILABLE_FORMATS",
+]
+
+
+# ----------------------------------------------------------------------
+# Elementwise format emulations
+# ----------------------------------------------------------------------
+def quantize_bfloat16(x: np.ndarray) -> np.ndarray:
+    """Round-to-nearest-even truncation of float32 to bfloat16."""
+    arr = np.asarray(x, dtype=np.float32)
+    bits = arr.view(np.uint32)
+    # RNE: add 0x7FFF + lsb-of-kept-part, then drop the low 16 bits.
+    lsb = (bits >> 16) & 1
+    rounded = (bits + 0x7FFF + lsb) & 0xFFFF0000
+    return rounded.view(np.float32).astype(np.float64)
+
+
+def quantize_fp16(x: np.ndarray) -> np.ndarray:
+    """IEEE binary16 via numpy's native half type.
+
+    Values beyond the fp16 range overflow to inf by design (the format's
+    own behaviour), so the cast warning is silenced.
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(x, dtype=np.float16).astype(np.float64)
+
+
+def quantize_int(x: np.ndarray, bits: int) -> np.ndarray:
+    """Per-tensor symmetric dynamic INT quantisation.
+
+    Scale is chosen from the tensor's max magnitude each call (dynamic),
+    which is the strongest INT baseline; the paper's INT8 row still shows
+    2-5% accuracy loss because gradients need more range than 8 bits give.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    qmax = float(2 ** (bits - 1) - 1)
+    amax = float(np.max(np.abs(arr))) if arr.size else 0.0
+    if amax == 0.0:
+        return np.zeros_like(arr)
+    scale = amax / qmax
+    return np.clip(np.rint(arr / scale), -qmax, qmax) * scale
+
+
+def quantize_minifloat(x: np.ndarray, exp_bits: int, man_bits: int) -> np.ndarray:
+    """Generic small-float (sign / exp_bits / man_bits) with RNE and
+    saturating overflow, subnormal support — used for HFP8.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    bias = 2 ** (exp_bits - 1) - 1
+    max_exp = 2**exp_bits - 2 - bias  # all-ones exponent reserved for inf
+    min_exp = 1 - bias
+    max_val = (2.0 - 2.0**-man_bits) * 2.0**max_exp
+
+    sign = np.sign(arr)
+    mag = np.abs(arr)
+    with np.errstate(divide="ignore"):
+        exps = np.floor(np.log2(np.where(mag > 0, mag, 1.0)))
+    exps = np.clip(exps, min_exp, max_exp)
+    # Quantisation step at each element's exponent (subnormals share the
+    # min_exp step).
+    step = np.ldexp(1.0, (exps - man_bits).astype(np.int64))
+    q = np.rint(mag / step) * step
+    q = np.minimum(q, max_val)
+    return sign * q
+
+
+# ----------------------------------------------------------------------
+# GEMM-level quantizer
+# ----------------------------------------------------------------------
+@dataclass
+class GemmQuantizer:
+    """Operand transforms applied around every training GEMM.
+
+    Attributes
+    ----------
+    name:
+        Format name (for reports).
+    forward:
+        Transform for operands of the forward GEMM ``O = W X``.
+    backward:
+        Transform for operands of the backward GEMMs (gradients); several
+        formats (HFP8, FMAC) use a wider format here.
+    axis_aware:
+        When True, ``forward``/``backward`` receive an ``axis`` keyword
+        identifying the reduction axis (needed by block formats).
+    """
+
+    name: str
+    forward: Callable[..., np.ndarray]
+    backward: Callable[..., np.ndarray]
+    axis_aware: bool = False
+
+    def quantize_forward(self, x: np.ndarray, axis: int) -> np.ndarray:
+        if self.axis_aware:
+            return self.forward(x, axis=axis)
+        return self.forward(x)
+
+    def quantize_backward(self, x: np.ndarray, axis: int) -> np.ndarray:
+        if self.axis_aware:
+            return self.backward(x, axis=axis)
+        return self.backward(x)
+
+
+def _identity_fp32(x: np.ndarray) -> np.ndarray:
+    return np.asarray(x, dtype=np.float32).astype(np.float64)
+
+
+def make_quantizer(
+    name: str,
+    bm: int = 4,
+    g: int = 16,
+    rng: Optional[np.random.Generator] = None,
+    backward_rounding: Optional[str] = None,
+) -> GemmQuantizer:
+    """Build a named :class:`GemmQuantizer`.
+
+    ``bm``/``g`` parameterise the block formats (``mirage``, ``fmac``).
+
+    ``backward_rounding`` (``mirage`` only) selects a different rounding
+    mode for the backward-pass GEMMs.  Deterministically rounded BFP
+    gradients destabilise Adam on small transformers (the same reason
+    HFP8 widens and FAST stochastically rounds its gradient format); the
+    transformer accuracy runs use ``"stochastic"`` here — documented in
+    EXPERIMENTS.md.
+    """
+    key = name.lower()
+    if key == "fp32":
+        return GemmQuantizer("FP32", _identity_fp32, _identity_fp32)
+    if key == "bfloat16":
+        return GemmQuantizer("bfloat16", quantize_bfloat16, quantize_bfloat16)
+    if key == "fp16":
+        return GemmQuantizer("FP16", quantize_fp16, quantize_fp16)
+    if key == "int8":
+        fn = lambda x: quantize_int(x, 8)
+        return GemmQuantizer("INT8", fn, fn)
+    if key == "int12":
+        fn = lambda x: quantize_int(x, 12)
+        return GemmQuantizer("INT12", fn, fn)
+    if key == "hfp8":
+        fwd = lambda x: quantize_minifloat(x, exp_bits=4, man_bits=3)
+        bwd = lambda x: quantize_minifloat(x, exp_bits=5, man_bits=2)
+        return GemmQuantizer("HFP8", fwd, bwd)
+    if key == "fmac":
+        cfg = BFPConfig(bm=bm, g=g, rounding="stochastic")
+        fn = lambda x, axis: quantize_tensor(x, cfg, axis=axis, rng=rng)
+        return GemmQuantizer("FMAC", fn, fn, axis_aware=True)
+    if key == "mirage":
+        cfg = BFPConfig(bm=bm, g=g, rounding="truncate")
+        fn = lambda x, axis: quantize_tensor(x, cfg, axis=axis)
+        if backward_rounding is None:
+            bwd = fn
+        else:
+            bcfg = BFPConfig(bm=bm, g=g, rounding=backward_rounding)
+            brng = rng or np.random.default_rng(0)
+            bwd = lambda x, axis: quantize_tensor(x, bcfg, axis=axis, rng=brng)
+        return GemmQuantizer(f"Mirage(bm={bm},g={g})", fn, bwd, axis_aware=True)
+    raise ValueError(f"unknown format {name!r}; known: {sorted(AVAILABLE_FORMATS)}")
+
+
+AVAILABLE_FORMATS = {
+    "fp32",
+    "bfloat16",
+    "fp16",
+    "int8",
+    "int12",
+    "hfp8",
+    "fmac",
+    "mirage",
+}

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.rns import ModuliSet, special_moduli_set
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mset5():
+    """The paper's default moduli set {31, 32, 33}."""
+    return special_moduli_set(5)
+
+
+@pytest.fixture
+def small_mset():
+    """A small arbitrary co-prime set for exhaustive checks."""
+    return ModuliSet((3, 5, 7))

@@ -1,0 +1,101 @@
+"""Tests for the related-work / robustness experiment runners."""
+
+import pytest
+
+from repro.analysis import (
+    AccuracySetup,
+    run_base_extension_study,
+    run_calibration_study,
+    run_dnnara_scaling,
+    run_moduli_search,
+    run_pim_study,
+    run_pipeline_validation,
+    run_pure_rns_study,
+    run_roofline,
+    run_rrns_cost_study,
+    run_technology_tradeoff,
+)
+
+QUICK = AccuracySetup(epochs=2, samples_per_class=12, num_classes=4)
+
+
+class TestFastRunners:
+    def test_dnnara_scaling_report(self):
+        text = run_dnnara_scaling()
+        assert "DNNARA" in text and "Mirage" in text
+        assert "251" in text  # largest modulus row present
+
+    def test_pim_study_report(self):
+        text = run_pim_study()
+        assert "exact" in text  # lossless ADC row
+        assert "14.4x" in text or "14.3x" in text or "14.5x" in text
+
+    def test_base_extension_report(self):
+        text = run_base_extension_study(n_values=5000)
+        assert "Szabo-Tanaka" in text and "Shenoy-Kumaresan" in text
+        # High-precision rank estimation must be error-free.
+        last_sweep_row = [l for l in text.splitlines() if l.startswith("24")][0]
+        assert "0.00%" in last_sweep_row
+
+    def test_calibration_report(self):
+        text = run_calibration_study(trials=120)
+        rows = [l for l in text.splitlines() if "|" in l][1:]
+        uncal = float(rows[0].split("|")[-1].strip().rstrip("%"))
+        digit = float(rows[2].split("|")[-1].strip().rstrip("%"))
+        assert uncal > 30.0
+        assert digit < 2.0
+
+    def test_technology_report(self):
+        text = run_technology_tradeoff(trials=80)
+        assert "thermo-optic" in text and "NOEMS" in text
+        assert "free-carrier" in text
+
+    def test_roofline_report(self):
+        text = run_roofline(("AlexNet", "Transformer"))
+        assert "ridge point" in text
+        assert "AlexNet" in text and "Transformer" in text
+
+    def test_rrns_cost_report(self):
+        text = run_rrns_cost_study(r_values=(0, 2))
+        assert "redundant moduli" in text
+        assert "1.0x" in text  # constant throughput column
+
+    def test_pipeline_validation_report(self):
+        text = run_pipeline_validation(shapes=((64, 64, 256),),
+                                       interleave_factors=(10, 5))
+        assert "discrete-event" in text
+        assert "Interleave starvation" in text
+
+    def test_moduli_search_report(self):
+        text = run_moduli_search()
+        assert "special k=5" in text
+        assert "crt" in text and "shift" in text
+
+    def test_inference_mode_report(self):
+        from repro.analysis import run_inference_mode_study
+
+        text = run_inference_mode_study()
+        rows = [l for l in text.splitlines() if "|" in l][1:]
+        train_pj = float(rows[0].split("|")[2])
+        infer_pj = float(rows[1].split("|")[2])
+        # Section VI-D: the smaller-M inference point is cheaper per MAC.
+        assert infer_pj < train_pj
+        infer_ipw = float(rows[1].split("|")[4])
+        train_ipw = float(rows[0].split("|")[4])
+        assert infer_ipw > train_ipw
+
+
+class TestPureRnsRunner:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_pure_rns_study(setup=QUICK)
+
+    def test_contains_both_activations(self, report):
+        assert "relu activation" in report
+        assert "tanh activation" in report
+
+    def test_reports_float_baseline(self, report):
+        assert "float accuracy" in report
+
+    def test_reports_op_census_columns(self, report):
+        assert "in-RNS ops" in report and "hybrid conversions" in report

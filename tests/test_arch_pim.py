@@ -1,0 +1,124 @@
+"""Tests for the bit-sliced ReRAM PIM comparator (PipeLayer-style)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import MirageConfig
+from repro.arch.energy import MirageEnergyModel
+from repro.arch.area import mirage_total_area
+from repro.arch.pim import (
+    PimConfig,
+    PimCostModel,
+    adc_bits_required,
+    bitsliced_matmul,
+    pim_relative_error,
+    slice_weights,
+)
+
+
+class TestPimConfig:
+    def test_default_slices(self):
+        assert PimConfig().num_slices == 4  # 16 bits / 4-bit cells
+
+    def test_column_sum_bits(self):
+        cfg = PimConfig(cell_bits=4, rows=128)
+        assert cfg.column_sum_bits == 4 + 7
+        assert adc_bits_required(cfg) == 11
+
+    def test_uneven_slicing(self):
+        assert PimConfig(weight_bits=10, cell_bits=4).num_slices == 3
+
+    def test_rejects_oversized_cell(self):
+        with pytest.raises(ValueError):
+            PimConfig(weight_bits=4, cell_bits=8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PimConfig(rows=0)
+
+
+class TestSliceWeights:
+    def test_slices_recompose(self, rng):
+        cfg = PimConfig()
+        w = rng.integers(0, 1 << 16, size=(8, 16))
+        slices = slice_weights(w, cfg)
+        recomposed = sum(
+            slices[s].astype(np.int64) << (s * cfg.cell_bits)
+            for s in range(cfg.num_slices)
+        )
+        assert np.array_equal(recomposed, w)
+
+    def test_slices_respect_cell_width(self, rng):
+        cfg = PimConfig(cell_bits=3, weight_bits=12)
+        slices = slice_weights(rng.integers(0, 1 << 12, size=20), cfg)
+        assert np.all(slices < (1 << 3))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            slice_weights(np.array([1 << 16]), PimConfig())
+
+
+class TestBitslicedMatmul:
+    def test_exact_with_wide_adc(self, rng):
+        cfg = PimConfig(adc_bits=11)
+        w = rng.integers(0, 1 << 16, size=(4, 200))
+        x = rng.integers(0, 1 << 16, size=(200, 3))
+        got, exact = bitsliced_matmul(x, w, cfg)
+        assert np.array_equal(got, exact)
+
+    def test_truncation_with_narrow_adc(self, rng):
+        cfg = PimConfig(adc_bits=5)
+        w = rng.integers(0, 1 << 16, size=(4, 200))
+        x = rng.integers(0, 1 << 16, size=(200, 3))
+        got, exact = bitsliced_matmul(x, w, cfg)
+        assert np.any(got != exact)
+
+    def test_error_monotone_in_adc_bits(self):
+        errs = [pim_relative_error(PimConfig(adc_bits=b), trials=2,
+                                   size=(8, 128, 2))
+                for b in (5, 8, 11)]
+        assert errs[0] > errs[1] > errs[2] == 0.0
+
+    def test_row_grouping_changes_nothing_when_lossless(self, rng):
+        w = rng.integers(0, 1 << 16, size=(3, 300))
+        x = rng.integers(0, 1 << 16, size=(300, 2))
+        a, _ = bitsliced_matmul(x, w, PimConfig(rows=64, adc_bits=12))
+        b, exact = bitsliced_matmul(x, w, PimConfig(rows=256, adc_bits=12))
+        assert np.array_equal(a, exact) and np.array_equal(b, exact)
+
+    def test_rejects_out_of_range_inputs(self):
+        with pytest.raises(ValueError):
+            bitsliced_matmul(np.array([[1 << 16]]), np.array([[1]]), PimConfig())
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=2, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_small_exact_property(self, out_dim, in_dim):
+        cfg = PimConfig(weight_bits=8, input_bits=8, cell_bits=2,
+                        adc_bits=10, rows=8)
+        rng = np.random.default_rng(out_dim * 31 + in_dim)
+        w = rng.integers(0, 256, size=(out_dim, in_dim))
+        x = rng.integers(0, 256, size=(in_dim, 1))
+        got, exact = bitsliced_matmul(x, w, cfg)
+        assert np.array_equal(got, exact)
+
+
+class TestPimCostModel:
+    def test_paper_ratios(self):
+        """Section VII: 14.4x power efficiency, 8.8x lower area
+        efficiency versus PipeLayer."""
+        cfg = MirageConfig()
+        model = MirageEnergyModel(cfg)
+        cmp = PimCostModel().compare(
+            2 * cfg.peak_macs_per_s,
+            model.peak_power(),
+            mirage_total_area(cfg) / 1e-6,
+        )
+        assert cmp["power_efficiency_ratio"] == pytest.approx(14.4, rel=0.10)
+        assert 1.0 / cmp["area_efficiency_ratio"] == pytest.approx(8.8, rel=0.10)
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValueError):
+            PimCostModel().compare(0.0, 1.0, 1.0)

@@ -1,0 +1,114 @@
+"""Tests for the discrete-event pipeline simulation (Section IV-C)."""
+
+import pytest
+
+from repro.arch import (
+    MirageConfig,
+    PipelineSimulator,
+    Stage,
+    mirage_stage_chain,
+    simulate_gemm,
+    validate_closed_form,
+)
+from repro.arch.workloads import GemmShape
+
+
+class TestPipelineSimulator:
+    def test_single_stage_serial(self):
+        sim = PipelineSimulator([Stage("s", 2, 1)])
+        makespan, stats = sim.run([0, 0, 0])
+        assert makespan == 6  # three jobs back to back
+        assert stats["s"].jobs == 3
+
+    def test_copies_give_parallelism(self):
+        serial = PipelineSimulator([Stage("s", 2, 1)]).run([0, 0, 0, 0])[0]
+        parallel = PipelineSimulator([Stage("s", 2, 4)]).run([0, 0, 0, 0])[0]
+        assert parallel == 2 and serial == 8
+
+    def test_chain_adds_fill_latency(self):
+        chain = [Stage("a", 1, 1), Stage("b", 1, 1), Stage("c", 1, 1)]
+        makespan, _ = PipelineSimulator(chain).run([0])
+        assert makespan == 3
+
+    def test_steady_state_throughput_one_per_cycle(self):
+        """Ten copies of a 10-cycle stage sustain 1 job/cycle."""
+        sim = PipelineSimulator([Stage("d", 10, 10)])
+        makespan, _ = sim.run(range(100))
+        assert makespan == 100 + 9  # last arrival at 99, service 10
+
+    def test_wait_accounting(self):
+        sim = PipelineSimulator([Stage("s", 5, 1)])
+        _, stats = sim.run([0, 0])
+        assert stats["s"].total_wait == 5  # second job queued
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator([])
+        with pytest.raises(ValueError):
+            Stage("bad", 0, 1)
+
+
+class TestMirageChain:
+    def test_stage_names(self):
+        names = [s.name for s in mirage_stage_chain()]
+        assert names[0] == "sram_read" and names[-1] == "sram_write"
+        assert "mvm" in names
+
+    def test_digital_stages_sized_by_clock_ratio(self):
+        chain = {s.name: s for s in mirage_stage_chain()}
+        assert chain["fp_bfp"].service_cycles == 10
+        assert chain["fp_bfp"].copies == 10
+        assert chain["mvm"].service_cycles == 1
+
+
+class TestGemmSimulation:
+    def test_matches_closed_form_for_long_streams(self):
+        """Fill/drain aside, simulation and closed form agree (the
+        Section IV-C 'exactly balanced' claim, demonstrated)."""
+        v = validate_closed_form(GemmShape(256, 363, 1024))
+        assert v["ratio"] == pytest.approx(1.0, abs=0.01)
+
+    def test_fill_drain_constant_across_shapes(self):
+        gaps = [validate_closed_form(GemmShape(*s))["gap_cycles"]
+                for s in ((64, 64, 256), (256, 363, 1024), (128, 128, 300))]
+        assert max(gaps) - min(gaps) < 1e-9
+
+    def test_starved_interleave_halves_throughput(self):
+        full, _ = simulate_gemm(GemmShape(256, 256, 512),
+                                MirageConfig(interleave_factor=10))
+        half, _ = simulate_gemm(GemmShape(256, 256, 512),
+                                MirageConfig(interleave_factor=5))
+        assert half / full == pytest.approx(2.0, rel=0.1)
+
+    def test_mvm_utilisation_high_at_design_point(self):
+        secs, stats = simulate_gemm(GemmShape(256, 363, 1024), MirageConfig())
+        makespan = round(secs / MirageConfig().cycle_time_s)
+        assert stats["mvm"].utilisation(makespan, 1) > 0.9
+
+    def test_job_guard(self):
+        with pytest.raises(ValueError):
+            simulate_gemm(GemmShape(4096, 4096, 65536), max_jobs=1000)
+
+    def test_df2_supported(self):
+        secs, _ = simulate_gemm(GemmShape(64, 64, 128), dataflow="DF2")
+        assert secs > 0
+
+    def test_stage_utilisation_bounded(self):
+        secs, stats = simulate_gemm(GemmShape(128, 128, 256), MirageConfig())
+        makespan = round(secs / MirageConfig().cycle_time_s)
+        chain = {s.name: s for s in mirage_stage_chain()}
+        for name, st in stats.items():
+            util = st.utilisation(makespan, chain[name].copies)
+            assert 0.0 < util <= 1.0 + 1e-9
+
+    def test_zero_makespan_utilisation(self):
+        from repro.arch import StageStats
+
+        assert StageStats("s").utilisation(0, 1) == 0.0
+
+    def test_wait_grows_when_starved(self):
+        _, full = simulate_gemm(GemmShape(128, 128, 256),
+                                MirageConfig(interleave_factor=10))
+        _, starved = simulate_gemm(GemmShape(128, 128, 256),
+                                   MirageConfig(interleave_factor=2))
+        assert starved["sram_read"].total_wait > full["sram_read"].total_wait

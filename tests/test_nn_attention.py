@@ -1,0 +1,112 @@
+"""Tests for attention and transformer blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MultiHeadAttention,
+    Tensor,
+    TransformerDecoderLayer,
+    TransformerEncoderLayer,
+    causal_mask,
+    positional_encoding,
+)
+from repro.quant import make_quantizer
+
+
+class TestPositionalEncoding:
+    def test_shape_and_range(self):
+        enc = positional_encoding(10, 16)
+        assert enc.shape == (10, 16)
+        assert np.abs(enc).max() <= 1.0
+
+    def test_distinct_positions(self):
+        enc = positional_encoding(20, 32)
+        assert not np.allclose(enc[0], enc[1])
+
+    def test_first_position_pattern(self):
+        enc = positional_encoding(4, 8)
+        # position 0: sin(0)=0 at even dims, cos(0)=1 at odd dims.
+        np.testing.assert_allclose(enc[0, 0::2], 0.0)
+        np.testing.assert_allclose(enc[0, 1::2], 1.0)
+
+
+class TestCausalMask:
+    def test_upper_triangle_blocked(self):
+        mask = causal_mask(4)
+        assert mask[0, 1] < -1e8
+        assert mask[2, 1] == 0.0
+        assert np.all(np.diag(mask) == 0.0)
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self, rng):
+        mha = MultiHeadAttention(16, 4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        assert mha(x).shape == (2, 5, 16)
+
+    def test_dim_head_divisibility(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+    def test_causal_mask_blocks_future(self, rng):
+        """Changing a future token must not change earlier outputs."""
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        x1 = rng.normal(size=(1, 6, 8))
+        x2 = x1.copy()
+        x2[0, 5] += 10.0
+        mask = causal_mask(6)
+        out1 = mha(Tensor(x1), mask=mask).data
+        out2 = mha(Tensor(x2), mask=mask).data
+        np.testing.assert_allclose(out1[0, :5], out2[0, :5], atol=1e-10)
+        assert not np.allclose(out1[0, 5], out2[0, 5])
+
+    def test_cross_attention_uses_memory(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        q = Tensor(rng.normal(size=(1, 3, 8)))
+        mem1 = Tensor(rng.normal(size=(1, 4, 8)))
+        mem2 = Tensor(rng.normal(size=(1, 4, 8)))
+        assert not np.allclose(mha(q, mem1, mem1).data, mha(q, mem2, mem2).data)
+
+    def test_gradients_reach_all_projections(self, rng):
+        mha = MultiHeadAttention(8, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        mha(x).sum().backward()
+        for proj in (mha.q_proj, mha.k_proj, mha.v_proj, mha.out_proj):
+            assert proj.weight.grad is not None
+            assert np.any(proj.weight.grad != 0)
+
+    def test_quantized_attention_runs(self, rng):
+        q = make_quantizer("mirage", bm=4, g=16)
+        mha = MultiHeadAttention(16, 4, quantizer=q, rng=rng)
+        x = Tensor(rng.normal(size=(2, 5, 16)))
+        out = mha(x)
+        out.sum().backward()
+        assert out.shape == (2, 5, 16)
+
+
+class TestTransformerLayers:
+    def test_encoder_shape_and_grad(self, rng):
+        layer = TransformerEncoderLayer(16, 4, 32, rng=rng)
+        x = Tensor(rng.normal(size=(2, 6, 16)), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (2, 6, 16)
+        out.sum().backward()
+        assert x.grad is not None
+
+    def test_decoder_consumes_memory(self, rng):
+        layer = TransformerDecoderLayer(16, 4, 32, rng=rng)
+        x = Tensor(rng.normal(size=(1, 5, 16)))
+        mem1 = Tensor(rng.normal(size=(1, 7, 16)))
+        mem2 = Tensor(rng.normal(size=(1, 7, 16)))
+        out1 = layer(x, mem1, self_mask=causal_mask(5)).data
+        out2 = layer(x, mem2, self_mask=causal_mask(5)).data
+        assert not np.allclose(out1, out2)
+
+    def test_residual_path_dominates_at_init(self, rng):
+        """Pre-norm blocks start near identity plus small perturbation."""
+        layer = TransformerEncoderLayer(16, 4, 32, rng=rng)
+        x = rng.normal(size=(1, 4, 16))
+        out = layer(Tensor(x)).data
+        corr = np.corrcoef(out.ravel(), x.ravel())[0, 1]
+        assert corr > 0.5

@@ -1,0 +1,111 @@
+"""Tests for post-fabrication MDPU calibration (Section VI-E claim)."""
+
+import numpy as np
+import pytest
+
+from repro.photonic import (
+    CalibratedMDPU,
+    CalibrationTable,
+    calibration_error_rates,
+    characterize,
+    VariationModel,
+    VariedMDPU,
+)
+
+COARSE = VariationModel(dac_bits=8, mrr_rel_error=0.01, ps_rel_bias_std=0.02,
+                        seed=0)
+
+
+@pytest.fixture
+def mdpu():
+    return VariedMDPU(33, 8, COARSE)
+
+
+def _error_rate(unit, mdpu, rng, trials=200):
+    x = rng.integers(0, mdpu.modulus, size=(trials, mdpu.g))
+    w = rng.integers(0, mdpu.modulus, size=(trials, mdpu.g))
+    return float(np.mean(unit.dot(x, w) != mdpu.exact(x, w)))
+
+
+class TestCharacterize:
+    def test_noiseless_per_digit_recovers_devices(self, mdpu):
+        table = characterize(mdpu, "per_digit", measurement_noise=0.0,
+                             refine_iters=0)
+        assert np.allclose(1.0 / table.drive_scale, mdpu._ps_gain, atol=1e-9)
+
+    def test_probe_count_reported(self, mdpu):
+        table = characterize(mdpu, "per_digit", repeats=2, refine_iters=1)
+        assert table.probes > 0
+        cheaper = characterize(mdpu, "per_digit", repeats=2, refine_iters=0)
+        assert table.probes > cheaper.probes
+
+    def test_per_mmu_shares_scale_across_digits(self, mdpu):
+        table = characterize(mdpu, "per_mmu")
+        for j in range(mdpu.g):
+            assert np.allclose(table.drive_scale[j], table.drive_scale[j, 0])
+        assert np.all(table.trim_phase == 0.0)
+
+    def test_rejects_bad_mode(self, mdpu):
+        with pytest.raises(ValueError):
+            characterize(mdpu, mode="per_chip")
+
+    def test_rejects_bad_repeats(self, mdpu):
+        with pytest.raises(ValueError):
+            characterize(mdpu, repeats=0)
+
+    def test_rejects_negative_refine(self, mdpu):
+        with pytest.raises(ValueError):
+            characterize(mdpu, refine_iters=-1)
+
+
+class TestCalibratedMDPU:
+    def test_noiseless_calibration_is_exact(self, mdpu, rng):
+        table = characterize(mdpu, "per_digit", measurement_noise=0.0)
+        assert _error_rate(CalibratedMDPU(mdpu, table), mdpu, rng) == 0.0
+
+    def test_refinement_beats_read_noise(self, mdpu, rng):
+        """Closed-loop refinement at full drive reaches the calibrated
+        floor even with 10 mrad of probe read noise (the coarse fit alone
+        cannot: gain errors are amplified by the ~(m-1) 2^d unwrapped
+        drive)."""
+        coarse = characterize(mdpu, "per_digit", measurement_noise=0.01,
+                              refine_iters=0, seed=3)
+        refined = characterize(mdpu, "per_digit", measurement_noise=0.01,
+                               refine_iters=2, seed=3)
+        err_coarse = _error_rate(CalibratedMDPU(mdpu, coarse), mdpu, rng)
+        err_refined = _error_rate(CalibratedMDPU(mdpu, refined), mdpu, rng)
+        assert err_refined < err_coarse
+        assert err_refined < 0.02
+
+    def test_per_mmu_cannot_remove_offsets(self, mdpu, rng):
+        table = characterize(mdpu, "per_mmu", measurement_noise=0.0)
+        err = _error_rate(CalibratedMDPU(mdpu, table), mdpu, rng)
+        assert err > 0.1  # additive detuning stays
+
+    def test_shape_mismatch_rejected(self, mdpu):
+        bad = CalibrationTable(np.ones((2, 2)), np.zeros((2, 2)), "per_digit", 0)
+        with pytest.raises(ValueError):
+            CalibratedMDPU(mdpu, bad)
+
+    def test_table_shape_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            CalibrationTable(np.ones((2, 3)), np.zeros((3, 2)), "per_digit", 0)
+
+    def test_exact_passthrough(self, mdpu, rng):
+        table = characterize(mdpu, "per_digit")
+        unit = CalibratedMDPU(mdpu, table)
+        x = rng.integers(0, 33, size=(5, mdpu.g))
+        w = rng.integers(0, 33, size=(5, mdpu.g))
+        assert np.array_equal(unit.exact(x, w), mdpu.exact(x, w))
+
+
+class TestErrorRateStudy:
+    def test_ordering(self):
+        rates = calibration_error_rates(33, 8, trials=150, seed=1)
+        assert rates["uncalibrated"] > 0.3
+        assert rates["per_digit"] <= rates["per_mmu"]
+        assert rates["per_digit"] < 0.02
+
+    def test_keys(self):
+        rates = calibration_error_rates(17, 4, trials=50)
+        assert set(rates) == {"uncalibrated", "per_mmu", "per_digit"}

@@ -1,0 +1,118 @@
+"""Tests for thermal crosstalk and the actuation-technology comparison."""
+
+import numpy as np
+import pytest
+
+from repro.photonic import (
+    FREE_CARRIER,
+    NOEMS,
+    TECHNOLOGIES,
+    THERMO_OPTIC,
+    coupling_matrix,
+    crosstalk_error_rate,
+    mmu_length_for,
+    technology_comparison,
+)
+
+
+class TestCouplingMatrix:
+    def test_zero_diagonal(self):
+        mat = coupling_matrix(10, 0.05)
+        assert np.all(np.diag(mat) == 0.0)
+
+    def test_symmetric(self):
+        mat = coupling_matrix(12, 0.02)
+        assert np.allclose(mat, mat.T)
+
+    def test_nearest_neighbour_equals_coupling(self):
+        mat = coupling_matrix(5, 0.03)
+        assert mat[0, 1] == pytest.approx(0.03)
+
+    def test_decays_with_distance(self):
+        mat = coupling_matrix(8, 0.05, decay_segments=1.5)
+        assert mat[0, 1] > mat[0, 3] > mat[0, 7]
+
+    def test_zero_coupling_all_zero(self):
+        assert np.all(coupling_matrix(6, 0.0) == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coupling_matrix(0, 0.1)
+        with pytest.raises(ValueError):
+            coupling_matrix(4, -0.1)
+
+
+class TestCrosstalkErrorRate:
+    def test_zero_coupling_is_exact(self):
+        assert crosstalk_error_rate(33, 16, 0.0, trials=100) == 0.0
+
+    def test_monotone_in_coupling(self):
+        rates = [crosstalk_error_rate(33, 16, c, trials=300, seed=2)
+                 for c in (1e-5, 1e-3, 0.05)]
+        assert rates[0] <= rates[1] <= rates[2]
+        assert rates[2] > 0.5
+
+    def test_noems_level_coupling_is_harmless(self):
+        err = crosstalk_error_rate(33, 16, NOEMS.thermal_coupling, trials=300)
+        assert err < 0.01
+
+    def test_thermo_optic_coupling_breaks_decisions(self):
+        err = crosstalk_error_rate(33, 16, THERMO_OPTIC.thermal_coupling,
+                                   trials=300)
+        assert err > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crosstalk_error_rate(1, 4, 0.01)
+        with pytest.raises(ValueError):
+            crosstalk_error_rate(33, 4, 0.01, arm_asymmetry=-1)
+
+    def test_deterministic_given_seed(self):
+        a = crosstalk_error_rate(17, 8, 0.01, trials=100, seed=9)
+        b = crosstalk_error_rate(17, 8, 0.01, trials=100, seed=9)
+        assert a == b
+
+
+class TestMmuLength:
+    def test_paper_noems_length(self):
+        """Section V-B1: total shifter length 0.57 mm for m = 33."""
+        assert mmu_length_for(NOEMS, 33) * 1e3 == pytest.approx(0.57, abs=0.01)
+
+    def test_free_carrier_is_tens_of_mm(self):
+        """Section IV-A: high-bandwidth shifters cost tens of mm."""
+        assert 10 < mmu_length_for(FREE_CARRIER, 33) * 1e3 < 100
+
+    def test_length_grows_with_modulus(self):
+        assert mmu_length_for(NOEMS, 65) > mmu_length_for(NOEMS, 33)
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            mmu_length_for(NOEMS, 1)
+
+
+class TestTechnologyComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return technology_comparison(trials=150)
+
+    def test_one_row_per_technology(self, rows):
+        assert [r["technology"] for r in rows] == [t.name for t in TECHNOLOGIES]
+
+    def test_noems_wins_overall(self, rows):
+        by_name = {r["technology"]: r for r in rows}
+        noems = by_name["NOEMS"]
+        thermo = by_name["thermo-optic"]
+        carrier = by_name["free-carrier"]
+        # The paper's Section II-E1 narrative, quantified:
+        assert thermo["tile_load_overhead"] > 0.9  # KHz heaters stall tiles
+        assert thermo["crosstalk_error_rate"] > 0.5
+        assert carrier["mmu_loss_db"] > 10  # ">= 10 dB optical loss"
+        assert carrier["mmu_length_mm"] > 10  # "tens of mm"
+        assert noems["mmu_loss_db"] < 2
+        assert noems["crosstalk_error_rate"] < 0.01
+        assert noems["tile_load_overhead"] < 0.25
+        assert noems["static_power_mw_per_mmu"] == 0.0
+
+    def test_free_carrier_fast_reprogram(self, rows):
+        by_name = {r["technology"]: r for r in rows}
+        assert by_name["free-carrier"]["tile_load_overhead"] < 0.01

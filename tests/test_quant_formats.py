@@ -1,0 +1,144 @@
+"""Tests for the baseline number-format emulations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    AVAILABLE_FORMATS,
+    make_quantizer,
+    quantize_bfloat16,
+    quantize_fp16,
+    quantize_int,
+    quantize_minifloat,
+)
+
+
+class TestBfloat16:
+    def test_representable_values_unchanged(self):
+        # Powers of two and small integers are exactly representable.
+        vals = np.array([0.0, 1.0, -2.0, 0.5, 256.0])
+        assert np.array_equal(quantize_bfloat16(vals), vals)
+
+    def test_relative_error_bound(self, rng):
+        vals = rng.normal(size=1000) * 10.0 ** rng.integers(-10, 10, size=1000)
+        q = quantize_bfloat16(vals)
+        nz = vals != 0
+        rel = np.abs(q[nz] - vals[nz]) / np.abs(vals[nz])
+        # bfloat16 has 8 total mantissa bits incl. implicit -> rel err <= 2^-8.
+        assert rel.max() <= 2.0**-8
+
+    def test_preserves_sign_and_shape(self, rng):
+        vals = rng.normal(size=(3, 4))
+        q = quantize_bfloat16(vals)
+        assert q.shape == vals.shape
+        assert np.all(np.sign(q) == np.sign(quantize_bfloat16(np.sign(vals))))
+
+
+class TestFp16:
+    def test_half_precision_rounding(self):
+        q = quantize_fp16(np.array([1.0 + 2**-12]))
+        assert q[0] == 1.0  # below half's 10-bit mantissa resolution
+
+    def test_overflow_to_inf(self):
+        assert np.isinf(quantize_fp16(np.array([1e6]))[0])
+
+
+class TestIntQuant:
+    def test_max_value_maps_to_qmax(self):
+        vals = np.array([-4.0, 0.0, 4.0])
+        q = quantize_int(vals, 8)
+        assert q[2] == pytest.approx(4.0)
+        assert q[0] == pytest.approx(-4.0)
+
+    def test_levels_count(self, rng):
+        vals = rng.normal(size=10000)
+        q = quantize_int(vals, 4)
+        assert len(np.unique(q)) <= 2**4 - 1  # symmetric: 2*qmax + 1 levels
+
+    def test_zero_tensor(self):
+        assert np.array_equal(quantize_int(np.zeros(5), 8), np.zeros(5))
+
+    def test_int12_finer_than_int8(self, rng):
+        vals = rng.normal(size=1000)
+        e8 = np.abs(quantize_int(vals, 8) - vals).mean()
+        e12 = np.abs(quantize_int(vals, 12) - vals).mean()
+        assert e12 < e8
+
+
+class TestMinifloat:
+    def test_hfp8_forward_format(self):
+        # 1-4-3: max normal = (2 - 2^-3) * 2^(15-7) ... bias 7, max exp 7.
+        q = quantize_minifloat(np.array([1e9]), 4, 3)
+        assert q[0] == (2 - 2**-3) * 2.0**7  # saturates
+
+    def test_small_values_subnormal_region(self):
+        q = quantize_minifloat(np.array([1e-12]), 4, 3)
+        assert q[0] >= 0.0  # flushes toward zero without crashing
+
+    def test_exact_on_coarse_grid(self):
+        vals = np.array([1.0, 1.125, 1.25, -1.5])
+        assert np.array_equal(quantize_minifloat(vals, 4, 3), vals)
+
+    def test_backward_format_wider_range(self):
+        # 1-5-2 has more exponent range than 1-4-3.
+        big = np.array([1e4])
+        fwd = quantize_minifloat(big, 4, 3)
+        bwd = quantize_minifloat(big, 5, 2)
+        assert bwd[0] > fwd[0]  # fwd saturates earlier
+
+
+class TestMakeQuantizer:
+    @pytest.mark.parametrize("name", sorted(AVAILABLE_FORMATS))
+    def test_all_formats_constructible(self, name):
+        q = make_quantizer(name)
+        x = np.random.default_rng(0).normal(size=(4, 8))
+        out = q.quantize_forward(x, axis=-1)
+        assert out.shape == x.shape
+        out_b = q.quantize_backward(x, axis=-1)
+        assert out_b.shape == x.shape
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            make_quantizer("fp4")
+
+    def test_fp32_is_near_identity(self, rng):
+        q = make_quantizer("fp32")
+        x = rng.normal(size=100)
+        assert np.allclose(q.quantize_forward(x, -1), x, rtol=1e-6)
+
+    def test_hfp8_uses_wider_backward(self, rng):
+        q = make_quantizer("hfp8")
+        big = np.array([2.0**12])
+        fwd = q.quantize_forward(big, -1)
+        bwd = q.quantize_backward(big, -1)
+        assert bwd[0] > fwd[0]
+
+    def test_mirage_respects_bm_g(self, rng):
+        x = rng.normal(size=(4, 32))
+        coarse = make_quantizer("mirage", bm=2, g=16).quantize_forward(x, -1)
+        fine = make_quantizer("mirage", bm=7, g=16).quantize_forward(x, -1)
+        assert np.abs(fine - x).max() < np.abs(coarse - x).max()
+
+    def test_fmac_stochastic_varies(self):
+        x = np.full((1, 16), 0.3)
+        q = make_quantizer("fmac", rng=np.random.default_rng(0))
+        outs = {tuple(q.quantize_forward(x, -1)[0]) for _ in range(10)}
+        assert len(outs) > 1  # stochastic rounding produces variety
+
+
+class TestQuantizerErrorOrdering:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_error_ordering_matches_precision(self, seed):
+        """INT8 must be coarser than INT12, bfloat16 coarser than fp32 —
+        the precision ordering behind Table I."""
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=256)
+        errs = {}
+        for name in ("int8", "int12", "bfloat16", "fp32"):
+            q = make_quantizer(name)
+            errs[name] = np.abs(q.quantize_forward(x, -1) - x).mean()
+        assert errs["int8"] >= errs["int12"]
+        assert errs["bfloat16"] >= errs["fp32"]

@@ -1,0 +1,182 @@
+"""Tests for forward/reverse RNS conversions, including the special-set
+shift/add converters and cross-oracle agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rns import (
+    ModuliSet,
+    crt_reverse,
+    crt_reverse_signed,
+    forward_convert,
+    forward_convert_signed,
+    from_signed,
+    mixed_radix_digits,
+    mixed_radix_reverse,
+    special_moduli_set,
+    special_set_forward,
+    special_set_reverse,
+    to_signed,
+)
+
+
+class TestForwardConversion:
+    def test_known_residues(self):
+        ms = ModuliSet((3, 5, 7))
+        res = forward_convert(np.array([23]), ms)
+        assert res[:, 0].tolist() == [23 % 3, 23 % 5, 23 % 7]
+
+    def test_shape_preserved(self, mset5):
+        vals = np.arange(24).reshape(2, 3, 4)
+        res = forward_convert(vals, mset5)
+        assert res.shape == (3, 2, 3, 4)
+
+    def test_scalar_like_input(self, mset5):
+        res = forward_convert(np.array(100), mset5)
+        assert res.shape == (3,)
+
+    def test_rejects_floats(self, mset5):
+        with pytest.raises(TypeError):
+            forward_convert(np.array([1.5]), mset5)
+
+    def test_signed_overflow_raises(self, mset5):
+        # Signed range is [-psi, M-1-psi]; one past either end must raise.
+        with pytest.raises(OverflowError):
+            forward_convert_signed(np.array([-(mset5.psi + 1)]), mset5)
+        with pytest.raises(OverflowError):
+            forward_convert_signed(
+                np.array([mset5.dynamic_range - mset5.psi]), mset5
+            )
+
+
+class TestCrtReverse:
+    def test_roundtrip_exhaustive_small(self, small_mset):
+        values = np.arange(small_mset.dynamic_range)
+        back = crt_reverse(forward_convert(values, small_mset), small_mset)
+        assert np.array_equal(back, values)
+
+    def test_roundtrip_random_k5(self, mset5, rng):
+        values = rng.integers(0, mset5.dynamic_range, size=2000)
+        back = crt_reverse(forward_convert(values, mset5), mset5)
+        assert np.array_equal(back, values)
+
+    def test_signed_roundtrip(self, mset5, rng):
+        values = rng.integers(-mset5.psi, mset5.psi + 1, size=2000)
+        back = crt_reverse_signed(forward_convert_signed(values, mset5), mset5)
+        assert np.array_equal(back, values)
+
+    def test_channel_count_checked(self, mset5):
+        with pytest.raises(ValueError):
+            crt_reverse(np.zeros((2, 4), dtype=np.int64), mset5)
+
+    def test_large_moduli_object_path(self):
+        """Moduli whose M exceeds int64 must fall back to Python ints."""
+        ms = ModuliSet((2**21 - 1, 2**21, 2**21 + 1, 2**23 - 1))
+        assert ms.dynamic_range.bit_length() > 63
+        values = np.array([0, 1, 12345678901234567, ms.dynamic_range - 1],
+                          dtype=object)
+        back = crt_reverse(forward_convert(values, ms), ms)
+        assert [int(v) for v in back] == [int(v) for v in values]
+
+
+class TestMixedRadix:
+    def test_digits_reconstruct(self, mset5, rng):
+        values = rng.integers(0, mset5.dynamic_range, size=500)
+        res = forward_convert(values, mset5)
+        back = mixed_radix_reverse(res, mset5)
+        assert np.array_equal(back, values)
+
+    def test_agrees_with_crt(self, rng):
+        ms = ModuliSet((11, 13, 17, 19))
+        values = rng.integers(0, ms.dynamic_range, size=500)
+        res = forward_convert(values, ms)
+        assert np.array_equal(mixed_radix_reverse(res, ms), crt_reverse(res, ms))
+
+    def test_digits_in_range(self, mset5, rng):
+        values = rng.integers(0, mset5.dynamic_range, size=100)
+        digits = mixed_radix_digits(forward_convert(values, mset5), mset5)
+        for i, m in enumerate(mset5.moduli):
+            assert digits[i].min() >= 0
+            assert digits[i].max() < m
+
+
+class TestSpecialSetConverters:
+    @pytest.mark.parametrize("k", (3, 4, 5, 6, 8))
+    def test_forward_matches_generic(self, k, rng):
+        ms = special_moduli_set(k)
+        values = rng.integers(0, ms.dynamic_range, size=1000)
+        fast = special_set_forward(values, k)
+        generic = forward_convert(values, ms)
+        assert np.array_equal(fast, generic)
+
+    @pytest.mark.parametrize("k", (3, 4, 5, 6, 8))
+    def test_reverse_roundtrip(self, k, rng):
+        ms = special_moduli_set(k)
+        values = rng.integers(0, ms.dynamic_range, size=1000)
+        back = special_set_reverse(special_set_forward(values, k), k)
+        assert np.array_equal(back, values)
+
+    @pytest.mark.parametrize("k", (3, 5))
+    def test_reverse_exhaustive(self, k):
+        ms = special_moduli_set(k)
+        values = np.arange(ms.dynamic_range)
+        back = special_set_reverse(forward_convert(values, ms), k)
+        assert np.array_equal(back, values)
+
+    def test_reverse_agrees_with_crt(self, rng):
+        k = 5
+        ms = special_moduli_set(k)
+        values = rng.integers(0, ms.dynamic_range, size=500)
+        res = forward_convert(values, ms)
+        assert np.array_equal(special_set_reverse(res, k), crt_reverse(res, ms))
+
+    def test_forward_rejects_negative(self):
+        with pytest.raises(ValueError):
+            special_set_forward(np.array([-1]), 5)
+
+    def test_reverse_channel_check(self):
+        with pytest.raises(ValueError):
+            special_set_reverse(np.zeros((2, 3), dtype=np.int64), 5)
+
+
+class TestSignedMapping:
+    def test_to_from_signed_roundtrip(self, mset5, rng):
+        values = rng.integers(-mset5.psi, mset5.dynamic_range - mset5.psi, size=500)
+        assert np.array_equal(to_signed(from_signed(values, mset5), mset5), values)
+
+    def test_zero_maps_to_zero(self, mset5):
+        assert int(from_signed(np.array([0]), mset5)[0]) == 0
+        assert int(to_signed(np.array([0]), mset5)[0]) == 0
+
+    def test_negative_representation(self):
+        ms = ModuliSet((3, 5, 7))  # M = 105
+        rep = from_signed(np.array([-1]), ms)
+        assert int(rep[0]) == 104
+
+
+class TestConversionProperties:
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=2**24), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_special_set_roundtrip_property(self, k, values):
+        ms = special_moduli_set(k)
+        vals = np.array([v % ms.dynamic_range for v in values])
+        res = special_set_forward(vals, k)
+        assert np.array_equal(special_set_reverse(res, k), vals)
+
+    @given(st.lists(st.integers(min_value=-5000, max_value=5000), min_size=1,
+                    max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_homomorphism_addition(self, values):
+        """CRT(residues(a) + residues(b)) == a + b when in range."""
+        ms = special_moduli_set(5)
+        vals = np.array(values)
+        res = forward_convert_signed(vals, ms)
+        doubled = np.stack(
+            [(res[i] * 2) % m for i, m in enumerate(ms.moduli)], axis=0
+        )
+        assert np.array_equal(crt_reverse_signed(doubled, ms), 2 * vals)

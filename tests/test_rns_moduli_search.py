@@ -1,0 +1,108 @@
+"""Tests for the moduli-set design-space search (Section IV-B)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rns import (
+    greedy_coprime_set,
+    minimal_max_modulus_set,
+    pairwise_coprime,
+    required_output_bits,
+    search_moduli_sets,
+    set_cost_summary,
+    special_moduli_set,
+)
+
+
+class TestGreedyCoprimeSet:
+    def test_pairwise_coprime(self):
+        assert pairwise_coprime(greedy_coprime_set(64, 4))
+
+    def test_takes_largest_first(self):
+        mods = greedy_coprime_set(33, 3)
+        assert mods == (31, 32, 33)  # the special set emerges naturally
+
+    def test_respects_cap(self):
+        assert all(m <= 20 for m in greedy_coprime_set(20, 3))
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_coprime_set(4, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            greedy_coprime_set(1, 1)
+
+
+class TestMinimalMaxModulus:
+    def test_covers_target(self):
+        mset = minimal_max_modulus_set(13.0, 3)
+        assert mset.dynamic_range_bits >= 13.0
+
+    def test_is_minimal(self):
+        """Lowering the cap by one must lose feasibility."""
+        mset = minimal_max_modulus_set(13.0, 3)
+        cap = max(mset.moduli)
+        smaller = greedy_coprime_set(cap - 1, 3)
+        assert sum(math.log2(m) for m in smaller) < 13.0
+
+    def test_more_channels_need_smaller_moduli(self):
+        three = minimal_max_modulus_set(13.0, 3)
+        four = minimal_max_modulus_set(13.0, 4)
+        assert max(four.moduli) < max(three.moduli)
+
+    def test_infeasible_target(self):
+        with pytest.raises(ValueError):
+            minimal_max_modulus_set(200.0, 2, cap_limit=256)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            minimal_max_modulus_set(0.0, 3)
+
+    @given(st.floats(min_value=6.0, max_value=24.0),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=25, deadline=None)
+    def test_always_feasible_and_coprime(self, target, count):
+        mset = minimal_max_modulus_set(target, count)
+        assert mset.n == count
+        assert mset.dynamic_range_bits >= target
+
+
+class TestSearch:
+    def test_frontier_monotone(self):
+        points = search_moduli_sets(13.0)
+        bits = [p.max_residue_bits for p in points]
+        counts = [p.count for p in points]
+        assert counts == sorted(counts)
+        assert bits == sorted(bits, reverse=True)
+
+    def test_eq13_target_reachable_at_4bit_residues(self):
+        """Four arbitrary channels cover the paper's Eq. 13 target with
+        4-bit DACs/ADCs — two bits below the special set."""
+        target = required_output_bits(4, 16)
+        points = {p.count: p for p in search_moduli_sets(target)}
+        assert points[4].max_residue_bits <= 4
+
+    def test_special_flag_only_at_three_channels(self):
+        for p in search_moduli_sets(13.0):
+            if p.count != 3:
+                assert p.special_equivalent_k is None
+
+
+class TestCostSummary:
+    def test_special_set_is_shift(self):
+        summary = set_cost_summary(special_moduli_set(5))
+        assert summary["conversion"] == "shift"
+        assert summary["dac_adc_bits"] == 6
+        assert summary["meets_eq13"] is True
+
+    def test_arbitrary_set_is_crt(self):
+        mset = minimal_max_modulus_set(13.0, 4)
+        assert set_cost_summary(mset)["conversion"] == "crt"
+
+    def test_reports_eq13_violation(self):
+        mset = minimal_max_modulus_set(8.0, 3)
+        assert set_cost_summary(mset, bm=4, g=16)["meets_eq13"] is False

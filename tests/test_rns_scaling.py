@@ -1,0 +1,160 @@
+"""Tests for RNS scaling, comparison and sign detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rns import (
+    ModuliSet,
+    approximate_scale,
+    crt_reverse,
+    forward_convert,
+    forward_convert_signed,
+    mrc_compare,
+    mrc_sign,
+    scale_by_modulus,
+    special_moduli_set,
+    to_signed,
+)
+
+
+class TestMrcCompare:
+    def test_random_pairs(self, mset5, rng):
+        a = rng.integers(0, mset5.dynamic_range, size=500)
+        b = rng.integers(0, mset5.dynamic_range, size=500)
+        got = mrc_compare(
+            forward_convert(a, mset5), forward_convert(b, mset5), mset5
+        )
+        assert np.array_equal(got, np.sign(a - b))
+
+    def test_equal_values(self, mset5):
+        a = forward_convert(np.array([123, 0, 32735]), mset5)
+        assert np.array_equal(mrc_compare(a, a, mset5), [0, 0, 0])
+
+    def test_adjacent_values(self, mset5):
+        a = forward_convert(np.array([1000]), mset5)
+        b = forward_convert(np.array([1001]), mset5)
+        assert mrc_compare(a, b, mset5)[0] == -1
+        assert mrc_compare(b, a, mset5)[0] == 1
+
+
+class TestMrcSign:
+    def test_sign_detection(self, mset5, rng):
+        vals = rng.integers(-mset5.psi, mset5.psi + 1, size=500)
+        res = forward_convert_signed(vals, mset5)
+        assert np.array_equal(mrc_sign(res, mset5), np.sign(vals))
+
+    def test_boundary_values(self, mset5):
+        hi = mset5.dynamic_range - 1 - mset5.psi
+        vals = np.array([-mset5.psi, -1, 0, 1, hi])
+        res = forward_convert_signed(vals, mset5)
+        assert np.array_equal(mrc_sign(res, mset5), [-1, -1, 0, 1, 1])
+
+
+class TestScaleByModulus:
+    @pytest.mark.parametrize("j", (0, 1, 2))
+    def test_exact_floor_division(self, j, mset5, rng):
+        vals = rng.integers(0, mset5.dynamic_range, size=300)
+        res = forward_convert(vals, mset5)
+        scaled, reduced = scale_by_modulus(res, mset5, j)
+        expected = vals // mset5.moduli[j]
+        got = crt_reverse(scaled, reduced)
+        assert np.array_equal(got, expected)
+        assert reduced.n == mset5.n - 1
+
+    def test_index_validation(self, mset5):
+        with pytest.raises(IndexError):
+            scale_by_modulus(np.zeros((3, 1), dtype=np.int64), mset5, 3)
+
+    def test_arbitrary_set(self, rng):
+        ms = ModuliSet((11, 13, 17, 19))
+        vals = rng.integers(0, ms.dynamic_range, size=200)
+        scaled, reduced = scale_by_modulus(forward_convert(vals, ms), ms, 2)
+        assert np.array_equal(crt_reverse(scaled, reduced), vals // 17)
+
+
+class TestApproximateScale:
+    def test_shift_matches_integer_shift(self, mset5, rng):
+        vals = rng.integers(-1000, 1001, size=200)
+        res = forward_convert_signed(vals, mset5)
+        scaled = approximate_scale(res, mset5, 3)
+        back = to_signed(crt_reverse(scaled, mset5), mset5)
+        assert np.array_equal(back, vals >> 3)
+
+    def test_zero_shift_identity(self, mset5, rng):
+        vals = rng.integers(-100, 101, size=50)
+        res = forward_convert_signed(vals, mset5)
+        assert np.array_equal(approximate_scale(res, mset5, 0), res)
+
+    def test_negative_shift_rejected(self, mset5):
+        with pytest.raises(ValueError):
+            approximate_scale(np.zeros((3, 1), dtype=np.int64), mset5, -1)
+
+
+class TestExactPowerOfTwoScale:
+    """The genuine in-RNS rescale: divide by the 2^k channel, base-extend
+    the dropped channel back — no reconstruction anywhere."""
+
+    def test_matches_arithmetic_shift(self, mset5, rng):
+        from repro.rns import crt_reverse_signed, exact_power_of_two_scale
+
+        lim = mset5.psi - 32
+        vals = rng.integers(-lim, lim + 1, size=1000)
+        res = forward_convert_signed(vals, mset5)
+        out = exact_power_of_two_scale(res, mset5)
+        assert np.array_equal(crt_reverse_signed(out, mset5), vals >> 5)
+
+    def test_agrees_with_approximate_scale(self, mset5, rng):
+        from repro.rns import exact_power_of_two_scale
+
+        lim = mset5.psi - 32
+        vals = rng.integers(-lim, lim + 1, size=500)
+        res = forward_convert_signed(vals, mset5)
+        assert np.array_equal(exact_power_of_two_scale(res, mset5),
+                              approximate_scale(res, mset5, 5))
+
+    def test_negative_values_floor(self, mset5):
+        from repro.rns import crt_reverse_signed, exact_power_of_two_scale
+
+        vals = np.array([-1, -31, -32, -33, -1000])
+        res = forward_convert_signed(vals, mset5)
+        got = crt_reverse_signed(exact_power_of_two_scale(res, mset5), mset5)
+        assert np.array_equal(got, vals >> 5)  # floor, not toward zero
+
+    def test_requires_power_of_two_channel(self):
+        from repro.rns import exact_power_of_two_scale
+
+        ms = ModuliSet((3, 5, 7))
+        with pytest.raises(ValueError):
+            exact_power_of_two_scale(np.zeros((3, 1), dtype=np.int64), ms)
+
+    @given(st.integers(min_value=3, max_value=8),
+           st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_shift(self, k, raw):
+        from repro.rns import crt_reverse_signed, exact_power_of_two_scale
+
+        mset = special_moduli_set(k)
+        lim = mset.psi - (1 << k)
+        vals = np.clip(np.array(raw), -lim, lim)
+        res = forward_convert_signed(vals, mset)
+        got = crt_reverse_signed(exact_power_of_two_scale(res, mset), mset)
+        assert np.array_equal(got, vals >> k)
+
+
+class TestScalingProperties:
+    @given(
+        st.integers(min_value=3, max_value=7),
+        st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_compare_total_order(self, k, values):
+        ms = special_moduli_set(k)
+        vals = np.array([v % ms.dynamic_range for v in values])
+        res = forward_convert(vals, ms)
+        # compare each against the first element
+        first = np.broadcast_to(res[:, :1], res.shape)
+        got = mrc_compare(res, first.copy(), ms)
+        assert np.array_equal(got, np.sign(vals - vals[0]))
