@@ -1,0 +1,94 @@
+"""Core GEMM performance trajectory — the one-pass batched engine.
+
+Times the functional photonic core at three GEMM sizes plus the
+weight-static streaming path and writes ``BENCH_core_gemm.json`` at the
+repo root so future PRs inherit a perf baseline.  ``SEED_BASELINE`` holds
+the timings of the original per-tile double-loop implementation (commit
+672c752, this machine) for the before/after record.
+
+A wall-clock budget guards against regressions: the 512x512x256 GEMM must
+finish within ``REPRO_BENCH_BUDGET`` seconds (default 1.0 — roughly 5x the
+one-pass engine's time, far below the 2.3 s of the per-tile loop), so a
+return to per-tile execution fails loudly.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_core_perf.py -s
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bfp import BFPConfig, bfp_matmul_exact
+from repro.core import PhotonicRnsTensorCore
+
+GEMM_SIZES = ((128, 128, 64), (256, 256, 128), (512, 512, 256))
+
+# Per-tile loop implementation (seed commit 672c752), same machine/sizes.
+SEED_BASELINE = {
+    "gemm_128x128x64": 0.0515,
+    "gemm_256x256x128": 0.4207,
+    "gemm_512x512x256": 2.3456,
+    "weight_static_512x512x256": 2.3456,  # seed had no weight-static path
+}
+
+BUDGET_S = float(os.environ.get("REPRO_BENCH_BUDGET", "1.0"))
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_core_gemm_perf():
+    rng = np.random.default_rng(0)
+    core = PhotonicRnsTensorCore()
+    results = {}
+
+    for r, k, c in GEMM_SIZES:
+        w = rng.normal(size=(r, k))
+        x = rng.normal(size=(k, c))
+        core.matmul(w[: min(r, 32)], x[:, : min(c, 8)])  # warm caches
+        results[f"gemm_{r}x{k}x{c}"] = _best_of(lambda: core.matmul(w, x))
+
+    # Weight-static streaming: program once, stream activations.
+    r, k, c = GEMM_SIZES[-1]
+    w = rng.normal(size=(r, k))
+    x = rng.normal(size=(k, c))
+    pw = core.program(w)
+    results[f"weight_static_{r}x{k}x{c}"] = _best_of(
+        lambda: core.matmul_programmed(pw, x)
+    )
+
+    # Still bit-exact at the largest size.
+    assert np.array_equal(
+        core.matmul(w, x), bfp_matmul_exact(w, x, BFPConfig(4, 16))
+    )
+
+    speedups = {
+        key: round(SEED_BASELINE[key] / results[key], 2) for key in results
+    }
+    payload = {
+        "seed_baseline_s": SEED_BASELINE,
+        "current_s": {key: round(val, 4) for key, val in results.items()},
+        "speedup_vs_seed": speedups,
+        "budget_s": BUDGET_S,
+    }
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_core_gemm.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print("\ncore GEMM perf (best of 3):")
+    for key, val in results.items():
+        print(f"  {key:30s} {val:8.4f} s   ({speedups[key]:5.1f}x vs seed)")
+
+    big = results[f"gemm_{r}x{k}x{c}"]
+    assert big <= BUDGET_S, (
+        f"512x512x256 GEMM took {big:.3f} s > budget {BUDGET_S} s — "
+        "the one-pass engine has regressed toward per-tile execution"
+    )

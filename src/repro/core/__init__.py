@@ -4,11 +4,12 @@ end-to-end dataflow."""
 from .fabricated import FabricatedTensorCore
 from .fault_tolerant import FaultTolerantCore, FaultTolerantStats
 from .pipeline import PhotonicExecutor, compare_with_reference
-from .tensor_core import CoreConfig, PhotonicRnsTensorCore
+from .tensor_core import CoreConfig, PhotonicRnsTensorCore, ProgrammedWeights
 
 __all__ = [
     "CoreConfig",
     "PhotonicRnsTensorCore",
+    "ProgrammedWeights",
     "PhotonicExecutor",
     "compare_with_reference",
     "FaultTolerantCore",

@@ -91,9 +91,13 @@ class FaultTolerantCore:
     def matmul(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:
         """``w @ x`` through the noisy RRNS-protected dataflow.
 
-        Uncorrectable outputs fall back to the raw information-moduli CRT
-        reconstruction (the best available estimate) and are counted in
-        the stats.
+        Executes as one batched pass: all ``(K-group, row-tile)`` weight
+        tiles are packed per channel and pushed through each channel's
+        MMVMU in a single grouped call, then the whole output tensor is
+        decoded at once (vectorised fast-accept, scalar decode only for
+        the suspect outputs).  Uncorrectable outputs fall back to the raw
+        information-moduli CRT reconstruction (the best available
+        estimate) and are counted in the stats.
         """
         w = np.asarray(w, dtype=np.float64)
         x = np.asarray(x, dtype=np.float64)
@@ -106,52 +110,63 @@ class FaultTolerantCore:
         num_groups = w_mant.shape[1]
         full = self.codec.full_set
 
-        out = np.zeros((r, c), dtype=np.float64)
+        # Pack weight mantissae as (G, T, v, g) tiles (zero row padding).
         row_tiles = -(-r // self.v)
+        padded = np.zeros((row_tiles * self.v, num_groups, self.g), dtype=np.int64)
+        padded[:r] = w_mant
+        tiles = padded.reshape(row_tiles, self.v, num_groups, self.g).transpose(
+            2, 0, 1, 3
+        )  # (G, T, v, g)
+
+        # One grouped pass per residue channel (the only per-channel loop).
+        res_out = np.stack(
+            [
+                unit.mvm_grouped(np.mod(tiles, m), np.mod(x_mant, m))
+                for unit, m in zip(self.units, full.moduli)
+            ]
+        )  # (n+r, G, C, T, v)
+
+        # Fold (T, v) into the padded row axis, drop padding, decode once.
+        n_ch = res_out.shape[0]
+        rows = res_out.reshape(n_ch, num_groups, c, row_tiles * self.v)[..., :r]
+        signed = self._decode_batch(
+            np.ascontiguousarray(rows).reshape(n_ch, -1)
+        ).reshape(num_groups, c, r)
+
+        out = np.zeros((r, c), dtype=np.float64)
         for gi in range(num_groups):
-            for rt in range(row_tiles):
-                lo, hi = rt * self.v, min(r, (rt + 1) * self.v)
-                # Per-channel residues of the signed mantissae.
-                res_out = []
-                for ch, m in enumerate(full.moduli):
-                    tile = np.zeros((self.v, self.g), dtype=np.int64)
-                    tile[: hi - lo] = np.mod(w_mant[lo:hi, gi, :], m)
-                    xs = np.mod(x_mant[:, gi, :], m)
-                    res_out.append(self.units[ch].mvm(tile, xs))  # (C, v)
-                stacked = np.stack(res_out)  # (n+r, C, v)
-                ints = self._decode_tile(stacked[:, :, : hi - lo])
-                scale = np.ldexp(
-                    1.0,
-                    (x_exp[:, gi][:, None] + w_exp[lo:hi, gi][None, :])
-                    - 2 * self.bfp.bm,
-                )
-                out[lo:hi, :] += (ints * scale).T
+            scale = np.ldexp(
+                1.0,
+                (x_exp[:, gi][:, None] + w_exp[:, gi][None, :]) - 2 * self.bfp.bm,
+            )  # (C, R)
+            out += (signed[gi] * scale).T
         return out
 
     # ------------------------------------------------------------------
-    def _decode_tile(self, residues: np.ndarray) -> np.ndarray:
-        """Decode an ``(n+r, C, v)`` residue block to signed integers."""
-        from ..rns.conversion import crt_reverse, to_signed
+    def _decode_batch(self, flat: np.ndarray) -> np.ndarray:
+        """Decode ``(n+r, N)`` residue columns to signed integers.
 
-        n_ch, c, v = residues.shape
-        flat = residues.reshape(n_ch, -1)
-        # Fast path: accept outputs whose full-set CRT already lands in
-        # the signed legal region (no channel error); run the expensive
-        # subset decode only on the rest.
+        Fast path: accept outputs whose full-set CRT already lands in the
+        signed legal region (no channel error) — fully vectorised; the
+        expensive per-output subset decode runs only on the suspects.
+        """
+        from ..rns.conversion import crt_reverse
+
         full_vals = np.asarray(crt_reverse(flat, self.codec.full_set))
         psi = self.codec.info_set.psi
         m_full = self.codec.full_set.dynamic_range
         lo_ok = full_vals <= psi
         hi_ok = full_vals >= m_full - psi
         signed = np.where(hi_ok, full_vals - m_full, full_vals).astype(np.float64)
+        self.stats.outputs += flat.shape[1]
+        suspects = np.nonzero(~(lo_ok | hi_ok))[0]
+        if suspects.size == 0:
+            return signed
         info_idx = [
             i for i, m in enumerate(self.codec.full_set.moduli)
             if m in self.codec.info_moduli
         ]
-        for j in range(flat.shape[1]):
-            self.stats.outputs += 1
-            if lo_ok[j] or hi_ok[j]:
-                continue
+        for j in suspects:
             result = self.codec.decode_scalar_signed(flat[:, j])
             if result.ok:
                 self.stats.corrected += 1
@@ -161,4 +176,4 @@ class FaultTolerantCore:
                 info_res = flat[info_idx, j][:, None]
                 raw = int(np.asarray(crt_reverse(info_res, self.codec.info_set))[0])
                 signed[j] = raw if raw <= psi else raw - self.codec.legal_range
-        return signed.reshape(c, v)
+        return signed

@@ -1,19 +1,34 @@
 """The photonic RNS tensor core — the paper's primary contribution.
 
 :class:`PhotonicRnsTensorCore` executes a full GEMM through the complete
-Fig. 2 dataflow:
+Fig. 2 dataflow, rebuilt as a **one-pass batched engine**: instead of a
+Python loop over ``(K-group, row-tile)`` pairs, every stage processes the
+whole GEMM at once.
 
 1.  tile the FP operands to the array geometry,
-2.  convert tiles to BFP (shared exponents, ``bm``-bit mantissae),
-3.  forward-convert signed mantissae to RNS residues,
-4.  program weight residues / stream input residues,
-5.  run the modular MVMs on the photonic device model
-    (:class:`~repro.photonic.mdpu.RnsMMVMU` — phases, wrap, detection),
-6.  digitise via the I/Q detectors' ADCs,
-7.  reverse-convert residues to signed integers (CRT / special-set),
-8.  rebuild FP values with the exponent path,
-9.  accumulate partial outputs in FP32 fashion (float64 here),
-10. (nonlinearities stay outside the core, as in the paper).
+2.  convert tiles to BFP (shared exponents, ``bm``-bit mantissae) — one
+    encode per operand (Fig. 2 step 2),
+3.  forward-convert *all* signed mantissae to RNS residues in one call
+    (step 3),
+4.  pack the weight residues into the ``(n, G, T, v, g)`` tile tensor —
+    this is :meth:`PhotonicRnsTensorCore.program`, and the result can be
+    cached so weight-static workloads (inference, multi-input streaming)
+    re-stream activations without re-encoding weights (steps 4),
+5.  execute every modular MVM of every tile as a single batched phase
+    computation on the photonic device model
+    (:meth:`~repro.photonic.mdpu.RnsMMVMU.mvm_grouped` — the noiseless
+    path computes the phase *sums* directly as chunked integer matmuls
+    and wraps once; the noise path perturbs the physical phases with the
+    summed per-digit variance) (step 5),
+6.  digitise via the I/Q detectors' ADCs — one vectorised detection over
+    the full ``(n, G, T, C, v)`` output (step 6),
+7.  reverse-convert all residues to signed integers with a single CRT
+    call (step 7),
+8.  rebuild FP values with the exponent path and accumulate partial
+    outputs in FP32 fashion (float64 here), group by group, in the same
+    order as the BFP reference so float accumulation is bit-identical
+    (steps 8-9),
+9.  (nonlinearities stay outside the core, as in the paper).
 
 In the noiseless configuration the result is **bit-exact** against
 :func:`repro.bfp.bfp_matmul_exact` — this is the correctness property that
@@ -23,9 +38,8 @@ property-based.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +49,7 @@ from ..photonic.mdpu import NoiseModel, RnsMMVMU
 from ..rns.conversion import forward_convert_signed, to_signed
 from ..rns.moduli import ModuliSet, choose_k_min, special_moduli_set
 
-__all__ = ["CoreConfig", "PhotonicRnsTensorCore"]
+__all__ = ["CoreConfig", "PhotonicRnsTensorCore", "ProgrammedWeights"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +70,42 @@ class CoreConfig:
 
     def bfp(self) -> BFPConfig:
         return BFPConfig(self.bm, self.g, self.rounding)
+
+
+@dataclass(frozen=True)
+class ProgrammedWeights:
+    """A weight matrix encoded, converted and laid out for the array.
+
+    Holds everything the weight-static fast path needs: the BFP shared
+    exponents, the RNS residues packed as ``(n, G, T, v, g)`` tiles
+    (``G`` K-groups, ``T`` row tiles of ``v`` rows), and a copy of the
+    source matrix so callers can cheaply validate cache entries.
+
+    ``fused`` additionally holds the tiles repacked as a
+    ``(G, n*g, T*v)`` float64 tensor for the noiseless fast path, where
+    the modular GEMMs of all ``n`` channels *and* the CRT accumulation
+    collapse into a single batched matmul (see ``_execute``); ``None``
+    when the core is noisy or the reduction would leave float64's exact
+    integer range.
+    """
+
+    shape: Tuple[int, int]
+    residues: np.ndarray  # (n, G, T, v, g) int64
+    exponents: np.ndarray  # (R, G) int64
+    source: np.ndarray  # (R, K) float64 copy for cache validation
+    fused: Optional[np.ndarray] = None  # (G, n*g, T*v) float64
+
+    @property
+    def num_groups(self) -> int:
+        return self.residues.shape[1]
+
+    @property
+    def row_tiles(self) -> int:
+        return self.residues.shape[2]
+
+    def matches(self, w: np.ndarray) -> bool:
+        """True when ``w`` is the matrix this programming was built from."""
+        return self.source.shape == w.shape and np.array_equal(self.source, w)
 
 
 class PhotonicRnsTensorCore:
@@ -89,6 +139,19 @@ class PhotonicRnsTensorCore:
         )
         self._tiles_programmed = 0
         self._mvm_cycles = 0
+        # Noiseless fused path: CRT weights folded into the input residues
+        # turn the n modular GEMMs + CRT into one batched matmul, valid
+        # while the worst-case accumulation Σ_i g (m_i-1)^2 w_i stays an
+        # exact float64 integer.
+        mi, ti = self.mset.crt_weights
+        big_m = self.mset.dynamic_range
+        crt_w = [(mi[i] * ti[i]) % big_m for i in range(self.mset.n)]
+        bound = sum(
+            self.config.g * (m - 1) * (m - 1) * w
+            for m, w in zip(self.mset.moduli, crt_w)
+        )
+        self._fused_ok = bound < (1 << 53)
+        self._crt_col = np.array(crt_w, dtype=np.int64).reshape(-1, 1, 1, 1)
 
     # ------------------------------------------------------------------
     # Stats (consumed by examples / tests)
@@ -106,6 +169,49 @@ class PhotonicRnsTensorCore:
         self._mvm_cycles = 0
 
     # ------------------------------------------------------------------
+    # Weight-static programming (Fig. 2 steps 2-4 for the weight operand)
+    # ------------------------------------------------------------------
+    def program(self, w: np.ndarray) -> ProgrammedWeights:
+        """BFP-encode, forward-convert and tile a weight matrix once.
+
+        The returned :class:`ProgrammedWeights` can be streamed against any
+        number of input batches via :meth:`matmul_programmed`, skipping the
+        per-call weight encode — the photonic array's weight-static
+        operating mode.
+        """
+        w = np.asarray(w, dtype=np.float64)
+        if w.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {w.shape}")
+        cfg = self.config
+        r = w.shape[0]
+        w_mant, w_exp = bfp_encode_matrix(w, cfg.bfp())  # (R, G, g), (R, G)
+        num_groups = w_mant.shape[1]
+        row_tiles = -(-r // cfg.v)
+        w_res = forward_convert_signed(w_mant, self.mset)  # (n, R, G, g)
+        padded = np.zeros(
+            (self.mset.n, row_tiles * cfg.v, num_groups, cfg.g), dtype=np.int64
+        )
+        padded[:, :r] = w_res
+        tiles = np.ascontiguousarray(
+            padded.reshape(
+                self.mset.n, row_tiles, cfg.v, num_groups, cfg.g
+            ).transpose(0, 3, 1, 2, 4)
+        )  # (n, G, T, v, g)
+        self._tiles_programmed += num_groups * row_tiles
+        fused = None
+        if self._fused_ok and self.engine.is_ideal:
+            # (n, G, T, v, g) -> (G, n*g, T*v): channel and digit axes
+            # merge into one reduction axis for the fused CRT matmul.
+            fused = tiles.transpose(1, 0, 4, 2, 3).astype(
+                np.float64, order="C"
+            ).reshape(num_groups, self.mset.n * cfg.g, row_tiles * cfg.v)
+        return ProgrammedWeights(
+            (r, w.shape[1]), tiles, w_exp, w.copy(), fused
+        )
+
+    # ------------------------------------------------------------------
+    # GEMM entry points
+    # ------------------------------------------------------------------
     def matmul(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:
         """``w @ x`` through the full photonic RNS dataflow.
 
@@ -115,47 +221,97 @@ class PhotonicRnsTensorCore:
         x = np.asarray(x, dtype=np.float64)
         if w.ndim != 2 or x.ndim != 2 or w.shape[1] != x.shape[0]:
             raise ValueError(f"bad GEMM shapes {w.shape} @ {x.shape}")
-        cfg = self.config
-        r, big_k = w.shape
-        c = x.shape[1]
+        return self._execute(self.program(w), x)
 
-        # Step 2: BFP encode — weight rows and input columns group along K.
-        w_mant, w_exp = bfp_encode_matrix(w, cfg.bfp())  # (R, G, g)
-        x_mant, x_exp = bfp_encode_matrix(x.T, cfg.bfp())  # (C, G, g)
-        num_groups = w_mant.shape[1]
+    def matmul_programmed(self, pw: ProgrammedWeights, x: np.ndarray) -> np.ndarray:
+        """Stream inputs against already-programmed weights (no re-encode)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != pw.shape[1]:
+            raise ValueError(f"bad GEMM shapes {pw.shape} @ {x.shape}")
+        return self._execute(pw, x)
 
-        out = np.zeros((r, c), dtype=np.float64)
-        row_tiles = -(-r // cfg.v)
-        for gi in range(num_groups):
-            # Step 3: forward conversion of this K-group's mantissae.
-            w_res = forward_convert_signed(w_mant[:, gi, :], self.mset)  # (n, R, g)
-            x_res = forward_convert_signed(x_mant[:, gi, :], self.mset)  # (n, C, g)
-            for rt in range(row_tiles):
-                lo, hi = rt * cfg.v, min(r, (rt + 1) * cfg.v)
-                tile = np.zeros((self.mset.n, cfg.v, cfg.g), dtype=np.int64)
-                tile[:, : hi - lo, :] = w_res[:, lo:hi, :]
-                self._tiles_programmed += 1
-                # Steps 4-6: program tile, stream the C input vectors.
-                res_out = self.engine.mvm(tile, x_res)  # (n, C, v)
-                self._mvm_cycles += c
-                # Step 7: reverse conversion to signed integers.
-                ints = to_signed(
-                    _crt(res_out, self.mset), self.mset
-                ).astype(np.float64)  # (C, v) per channel -> (C, v)
-                # Step 8: exponent path — scale by shared exponents.
-                scale = np.ldexp(
-                    1.0,
-                    (x_exp[:, gi][:, None] + w_exp[lo:hi, gi][None, :])
-                    - 2 * cfg.bm,
-                )  # (C, hi-lo)
-                partial = ints[:, : hi - lo] * scale
-                # Step 9: accumulate partial outputs.
-                out[lo:hi, :] += partial.T
-        return out
+    def matmul_many(
+        self, w: np.ndarray, xs: Sequence[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Batched multi-GEMM: program ``w`` once, stream every input.
+
+        All inputs are concatenated column-wise and pushed through the
+        engine as one pass — a multi-image conv batch or a multi-request
+        inference batch costs one programming and one batched execution.
+        """
+        w = np.asarray(w, dtype=np.float64)
+        xs = [np.asarray(x, dtype=np.float64) for x in xs]
+        for x in xs:
+            if x.ndim != 2 or w.ndim != 2 or w.shape[1] != x.shape[0]:
+                raise ValueError(f"bad GEMM shapes {w.shape} @ {x.shape}")
+        if not xs:
+            return []
+        pw = self.program(w)
+        out = self._execute(pw, np.concatenate(xs, axis=1))
+        split = np.cumsum([x.shape[1] for x in xs])[:-1]
+        return np.split(out, split, axis=1)
 
     def mvm(self, w: np.ndarray, x_vec: np.ndarray) -> np.ndarray:
         """Single MVM convenience wrapper: ``w @ x_vec``."""
         return self.matmul(w, np.asarray(x_vec, dtype=np.float64)[:, None])[:, 0]
+
+    # ------------------------------------------------------------------
+    # The one-pass batched execution (Fig. 2 steps 2-9 for the inputs)
+    # ------------------------------------------------------------------
+    def _execute(self, pw: ProgrammedWeights, x: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        r, _ = pw.shape
+        c = x.shape[1]
+        num_groups, row_tiles = pw.num_groups, pw.row_tiles
+
+        # Steps 2-3: encode and forward-convert the whole input batch once.
+        x_mant, x_exp = bfp_encode_matrix(x.T, cfg.bfp())  # (C, G, g), (C, G)
+        x_res = forward_convert_signed(x_mant, self.mset)  # (n, C, G, g)
+
+        # Steps 5-7: every modular MVM of every tile in one batched pass,
+        # then one reverse conversion over the full output tensor.
+        self._mvm_cycles += num_groups * row_tiles * c
+        if pw.fused is not None and self.engine.is_ideal:
+            # Noiseless fused path.  ``Σ_i r_i M_i T_i ≡ X (mod M)`` holds
+            # for *unreduced* ``r_i ≡ x_i (mod m_i)``, so scaling the input
+            # residues by their CRT weight and concatenating the channel
+            # axes turns the n modular GEMMs + CRT accumulation into one
+            # batched matmul; a single final mod performs every 2π wrap.
+            xw = (x_res * self._crt_col).transpose(2, 1, 0, 3)  # (G, C, n, g)
+            xt = xw.astype(np.float64, order="C").reshape(
+                num_groups, c, self.mset.n * cfg.g
+            )
+            acc = np.matmul(xt, pw.fused)  # (G, C, T*v), exact integers
+            big_m = float(self.mset.dynamic_range)
+            q = acc / big_m
+            np.floor(q, out=q)
+            acc -= q * big_m
+            # Correctly-rounded division can land one unit high at the
+            # boundary; fix up, then apply the signed range mapping.
+            np.add(acc, big_m, out=acc, where=acc < 0)
+            hi = float(self.mset.dynamic_range - 1 - self.mset.psi)
+            np.subtract(acc, big_m, out=acc, where=acc > hi)
+            ints = acc  # (G, C, T*v) signed float64
+        else:
+            res_out = self.engine.mvm_grouped(pw.residues, x_res)  # (n, G, C, T, v)
+            ints = to_signed(_crt(res_out, self.mset), self.mset).astype(
+                np.float64
+            )  # (G, C, T, v)
+
+        # Fold (T, v) back into the padded row axis and drop padding rows.
+        ints = ints.reshape(num_groups, c, row_tiles * cfg.v)[:, :, :r]
+
+        # Steps 8-9: exponent scale + accumulate.  Groups are accumulated
+        # in ascending order with one fused scale each — the same float64
+        # operation order as bfp_matmul_exact, keeping bit-exactness.
+        out = np.zeros((r, c), dtype=np.float64)
+        shift = -2 * cfg.bm
+        for gi in range(num_groups):
+            scale = np.ldexp(
+                1.0, (x_exp[:, gi][:, None] + pw.exponents[:, gi][None, :]) + shift
+            )  # (C, R)
+            out += (ints[gi] * scale).T
+        return out
 
 
 def _crt(residues: np.ndarray, mset: ModuliSet) -> np.ndarray:

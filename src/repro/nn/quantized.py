@@ -34,6 +34,35 @@ from .tensor import Tensor
 __all__ = ["quantized_matmul", "QuantizedLinear", "QuantizedConv2d"]
 
 
+class _StaticOperandCache:
+    """Caches the forward-quantised weight operand of a GEMM layer.
+
+    Quantisation is deterministic for the forward formats used here, so a
+    layer whose weights have not changed (inference, or repeated forwards
+    within one step) can reuse the quantised tensor.  The cache revalidates
+    against the current weight data with one cheap array comparison, so
+    training — which updates weights every step — transparently falls back
+    to re-quantisation.
+    """
+
+    __slots__ = ("_source", "_quantized")
+
+    def __init__(self):
+        self._source = None
+        self._quantized = None
+
+    def lookup(self, data: np.ndarray, quantize) -> np.ndarray:
+        if (
+            self._source is not None
+            and self._source.shape == data.shape
+            and np.array_equal(self._source, data)
+        ):
+            return self._quantized
+        self._source = data.copy()
+        self._quantized = quantize(data)
+        return self._quantized
+
+
 def _unbroadcast(grad: np.ndarray, shape) -> np.ndarray:
     if grad.shape == tuple(shape):
         return grad
@@ -46,17 +75,29 @@ def _unbroadcast(grad: np.ndarray, shape) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def quantized_matmul(a: Tensor, b: Tensor, quantizer: GemmQuantizer) -> Tensor:
+def quantized_matmul(
+    a: Tensor,
+    b: Tensor,
+    quantizer: GemmQuantizer,
+    qa: Optional[np.ndarray] = None,
+    qb: Optional[np.ndarray] = None,
+) -> Tensor:
     """``a @ b`` with operands quantised in forward and backward GEMMs.
 
     Shapes follow numpy matmul broadcasting; reduction axes are ``-1`` for
     ``a`` and ``-2`` for ``b``.  Gradients w.r.t. the quantisation itself
     use the straight-through estimator (standard practice for BFP/INT
     training, and what the paper's PyTorch model does implicitly).
+
+    ``qa``/``qb`` optionally supply an already-quantised forward operand
+    (the weight-static fast path used by the layers below); they must be
+    the quantiser's output for the corresponding operand data.
     """
     a_data, b_data = a.data, b.data
-    qa = quantizer.quantize_forward(a_data, axis=-1)
-    qb = quantizer.quantize_forward(b_data, axis=-2 if b_data.ndim > 1 else -1)
+    if qa is None:
+        qa = quantizer.quantize_forward(a_data, axis=-1)
+    if qb is None:
+        qb = quantizer.quantize_forward(b_data, axis=-2 if b_data.ndim > 1 else -1)
     out_data = qa @ qb
 
     def backward(grad):
@@ -98,11 +139,18 @@ class QuantizedLinear(Linear):
     ):
         super().__init__(in_features, out_features, bias=bias, rng=rng)
         self.quantizer = quantizer
+        self._wq_cache = _StaticOperandCache()
 
     def forward(self, x: Tensor) -> Tensor:
         if self.quantizer is None:
             return super().forward(x)
-        out = quantized_matmul(x, self.weight.T, self.quantizer)
+        wt = self.weight.T
+        qb = None
+        if self.quantizer.deterministic_forward:
+            qb = self._wq_cache.lookup(
+                wt.data, lambda d: self.quantizer.quantize_forward(d, axis=-2)
+            )
+        out = quantized_matmul(x, wt, self.quantizer, qb=qb)
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -114,8 +162,15 @@ class QuantizedConv2d(Conv2d):
     def __init__(self, *args, quantizer: Optional[GemmQuantizer] = None, **kwargs):
         super().__init__(*args, **kwargs)
         self.quantizer = quantizer
+        self._wq_cache = _StaticOperandCache()
 
     def _matmul(self, a: Tensor, b: Tensor) -> Tensor:
         if self.quantizer is None:
             return a @ b
-        return quantized_matmul(a, b, self.quantizer)
+        # ``a`` is the flattened kernel (the weight-static operand).
+        qa = None
+        if self.quantizer.deterministic_forward:
+            qa = self._wq_cache.lookup(
+                a.data, lambda d: self.quantizer.quantize_forward(d, axis=-1)
+            )
+        return quantized_matmul(a, b, self.quantizer, qa=qa)

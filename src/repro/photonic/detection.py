@@ -34,7 +34,7 @@ def quantize_adc(values: np.ndarray, bits: int, full_scale: float) -> np.ndarray
         raise ValueError(f"bits must be >= 1, got {bits}")
     levels = 1 << bits
     step = 2.0 * full_scale / levels
-    idx = np.clip(np.floor(np.asarray(values) / step) , -levels // 2, levels // 2 - 1)
+    idx = np.clip(np.floor(np.asarray(values) / step), -(levels // 2), levels // 2 - 1)
     return (idx + 0.5) * step
 
 
@@ -72,13 +72,21 @@ class PhaseDetector:
             self.rng = np.random.default_rng()
 
     def read_iq(self, phase: np.ndarray):
-        """Return the (I, Q) photocurrents for a physical phase."""
+        """Return the (I, Q) photocurrents for a physical phase.
+
+        Fully vectorised: the one-pass engine calls this once over the
+        whole ``(G, T, C, v)`` batched output, so intermediates are built
+        in place to keep peak memory at a few output-sized buffers.
+        """
         phase = np.asarray(phase, dtype=np.float64)
-        i_comp = self.amplitude * np.cos(phase)
-        q_comp = self.amplitude * np.sin(phase)
+        i_comp = np.cos(phase)
+        q_comp = np.sin(phase)
+        if self.amplitude != 1.0:
+            i_comp *= self.amplitude
+            q_comp *= self.amplitude
         if self.noise_std > 0.0:
-            i_comp = i_comp + self.rng.normal(0.0, self.noise_std, phase.shape)
-            q_comp = q_comp + self.rng.normal(0.0, self.noise_std, phase.shape)
+            i_comp += self.rng.normal(0.0, self.noise_std, phase.shape)
+            q_comp += self.rng.normal(0.0, self.noise_std, phase.shape)
         if self.use_adc:
             i_comp = quantize_adc(i_comp, self.adc_bits, self.amplitude)
             q_comp = quantize_adc(q_comp, self.adc_bits, self.amplitude)

@@ -8,11 +8,25 @@
 * An **RNS-MMVMU** groups ``n`` MMVMUs, one per modulus, executing the
   ``n`` modular MVMs of an RNS GEMM tile in parallel.
 
-These models operate on residue arrays and compute *physical phases* in
-float64 (wrapped mod 2π) before the detection stage, so every analog
-imperfection — phase-encoding error, shot/thermal current noise, ADC
-quantisation — can be injected where it occurs in hardware.  Noiseless,
-they are bit-exact against :func:`repro.rns.mod_matmul`.
+Two execution granularities are provided:
+
+* ``mvm`` — one weight tile, a batch of input vectors: the cycle-accurate
+  per-tile view.  Phases are materialised per ``(input, row, digit-group)``
+  element, summed, wrapped and detected — every analog imperfection (phase
+  encoding error, shot/thermal current noise, ADC quantisation) is injected
+  exactly where it occurs in hardware.
+* ``mvm_grouped`` — the **one-pass batched engine**: all ``(K-group,
+  row-tile)`` weight tiles of a GEMM at once.  The phase *sum* of each
+  dot product is computed directly as a chunked integer matmul (the
+  optical field adds phases; only the wrapped sum reaches the detector),
+  so the noiseless path never materialises a per-digit product tensor and
+  is a pure modular GEMM — bit-exact against :func:`repro.rns.mod_matmul`.
+  The noise path exploits that ``g`` independent per-digit Gaussian phase
+  errors sum to a single Gaussian whose variance is the total set-bit
+  count of the group's input residues (vectorised popcount), then runs
+  detection and ADC once over the whole batched output.
+
+Noiseless, both paths produce identical residues.
 """
 
 from __future__ import annotations
@@ -24,9 +38,42 @@ import numpy as np
 
 from ..rns.moduli import ModuliSet
 from .detection import PhaseDetector
-from .mmu import MMU, TWO_PI, wrap_phase
+from .mmu import MMU, TWO_PI, popcount, wrap_phase
 
-__all__ = ["MDPU", "MMVMU", "RnsMMVMU", "NoiseModel"]
+__all__ = ["MDPU", "MMVMU", "RnsMMVMU", "NoiseModel", "grouped_mod_gemm"]
+
+
+def grouped_mod_gemm(w_res: np.ndarray, x_res: np.ndarray, modulus: int) -> np.ndarray:
+    """Exact modular grouped GEMM for one modulus — the noiseless phase sums.
+
+    ``w_res``: ``(G, T, v, g)`` weight-tile residues (``G`` K-groups,
+    ``T`` row tiles); ``x_res``: ``(C, G, g)`` input residues.  Returns the
+    ``(G, C, T, v)`` residues of every modular dot product, i.e. the phase
+    accumulation of Eq. 12 wrapped once, computed as an integer matmul
+    chunked along ``g`` so partial sums cannot overflow int64.  The output
+    layout is the matmul-natural one (C-contiguous), so no strided copies
+    are made anywhere in the one-pass engine.
+    """
+    big_g, t, v, g = w_res.shape
+    c = x_res.shape[0]
+    m = int(modulus)
+    xt = np.ascontiguousarray(x_res.transpose(1, 0, 2))  # (G, C, g)
+    wt = w_res.reshape(big_g, t * v, g).transpose(0, 2, 1)  # (G, g, T*v)
+    if g * (m - 1) * (m - 1) < (1 << 53):
+        # The whole reduction fits float64 exactly — use BLAS dgemm.  The
+        # products are exact non-negative integers, so the int64 cast is
+        # lossless truncation.
+        prod = np.matmul(xt.astype(np.float64), wt.astype(np.float64))
+        dots = prod.astype(np.int64)
+        dots %= m
+    else:
+        chunk = max(1, (1 << 62) // ((m - 1) * (m - 1)))
+        dots = np.zeros((big_g, c, t * v), dtype=np.int64)
+        for start in range(0, g, chunk):
+            stop = min(g, start + chunk)
+            dots += np.matmul(xt[:, :, start:stop], wt[:, start:stop, :])
+            dots %= m
+    return dots.reshape(big_g, c, t, v)
 
 
 @dataclass(frozen=True)
@@ -131,6 +178,46 @@ class MMVMU:
         # Broadcast: (..., 1, g) against (v, g) -> (..., v, g).
         return self.mdpu.dot(x[..., None, :], weight_tile)
 
+    def mvm_grouped(self, w_res: np.ndarray, x_res: np.ndarray) -> np.ndarray:
+        """All tiles of a grouped GEMM through this modulus in one pass.
+
+        ``w_res``: ``(G, T, v, g)`` weight-tile residues; ``x_res``:
+        ``(C, G, g)`` input residues.  Returns ``(G, C, T, v)`` output
+        residues.  Noiseless this is a pure integer modular GEMM; with
+        noise enabled the physical phase of every dot product is rebuilt
+        from the integer sum, perturbed (summed per-digit variance), and
+        detected through the I/Q + ADC front end in one vectorised call.
+        """
+        w_res = np.asarray(w_res, dtype=np.int64)
+        x_res = np.asarray(x_res, dtype=np.int64)
+        if w_res.ndim != 4 or w_res.shape[2:] != (self.v, self.g):
+            raise ValueError(
+                f"weight tiles must be (G, T, {self.v}, {self.g}), got {w_res.shape}"
+            )
+        if x_res.ndim != 3 or x_res.shape[1:] != (w_res.shape[0], self.g):
+            raise ValueError(
+                f"inputs must be (C, {w_res.shape[0]}, {self.g}), got {x_res.shape}"
+            )
+        dots = grouped_mod_gemm(w_res, x_res, self.modulus)  # (G, C, T, v)
+        noise = self.mdpu.noise
+        if noise.phase_error_std == 0.0 and noise.detector_noise_std == 0.0:
+            # Detection of exact level phases is the identity (the property
+            # the per-tile path asserts test-side) — skip the float stage.
+            return dots
+        phase = dots.astype(np.float64)
+        phase *= TWO_PI / self.modulus
+        if noise.phase_error_std > 0.0:
+            # g independent per-digit errors ~ N(0, std^2 * popcount(x_j))
+            # sum to one Gaussian with variance std^2 * total set bits.
+            total_bits = popcount(x_res).sum(axis=-1)  # (C, G)
+            sigma = noise.phase_error_std * np.sqrt(
+                total_bits.T.astype(np.float64)
+            )  # (G, C)
+            phase += self.mdpu.mmu.rng.normal(
+                size=phase.shape
+            ) * sigma[:, :, None, None]
+        return self.mdpu.detector.detect_level(wrap_phase(phase))
+
 
 class RnsMMVMU:
     """``n`` MMVMUs — one per modulus — forming the RNS tile engine."""
@@ -146,11 +233,20 @@ class RnsMMVMU:
         self.mset = mset
         self.g = g
         self.v = v
+        self.noise = noise or NoiseModel.ideal()
         rng = rng or np.random.default_rng()
         self.units = [
             MMVMU(m, g, v, noise, np.random.default_rng(rng.integers(2**63)))
             for m in mset.moduli
         ]
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when no stochastic imperfection is modelled (bit-exact)."""
+        return (
+            self.noise.phase_error_std == 0.0
+            and self.noise.detector_noise_std == 0.0
+        )
 
     def mvm(self, weight_residues: np.ndarray, x_residues: np.ndarray) -> np.ndarray:
         """All ``n`` modular MVMs of one tile.
@@ -167,3 +263,26 @@ class RnsMMVMU:
             for i, unit in enumerate(self.units)
         ]
         return np.stack(outs, axis=0)
+
+    def mvm_grouped(self, weight_residues: np.ndarray, x_residues: np.ndarray) -> np.ndarray:
+        """One-pass batched GEMM over every tile of every K-group.
+
+        ``weight_residues``: ``(n, G, T, v, g)``; ``x_residues``:
+        ``(n, C, G, g)``.  Returns ``(n, G, C, T, v)``.  The loop below is
+        over the ``n`` moduli only (3-5 channels); all tile/batch axes are
+        vectorised inside each unit.
+        """
+        weight_residues = np.asarray(weight_residues, dtype=np.int64)
+        x_residues = np.asarray(x_residues, dtype=np.int64)
+        if (
+            weight_residues.shape[0] != self.mset.n
+            or x_residues.shape[0] != self.mset.n
+        ):
+            raise ValueError("leading axis must match the number of moduli")
+        out = None
+        for i, unit in enumerate(self.units):
+            res = unit.mvm_grouped(weight_residues[i], x_residues[i])
+            if out is None:
+                out = np.empty((self.mset.n,) + res.shape, dtype=np.int64)
+            out[i] = res
+        return out

@@ -23,9 +23,30 @@ import numpy as np
 
 from .devices import MMUGeometry, PhaseShifterBank
 
-__all__ = ["MMU", "wrap_phase", "phase_to_level"]
+__all__ = ["MMU", "wrap_phase", "phase_to_level", "popcount"]
 
 TWO_PI = 2.0 * math.pi
+
+
+def popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element set-bit count of non-negative integer residues.
+
+    The digit-sliced MMU routes the light through one shifter segment per
+    set bit of the input residue, so the number of traversed segments — and
+    hence the number of independent per-digit phase-error draws — is the
+    popcount of the residue.
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(arr).astype(np.int64)
+    # SWAR fallback for older numpy.
+    v = arr.astype(np.uint64)
+    v = v - ((v >> np.uint64(1)) & np.uint64(0x5555555555555555))
+    v = (v & np.uint64(0x3333333333333333)) + (
+        (v >> np.uint64(2)) & np.uint64(0x3333333333333333)
+    )
+    v = (v + (v >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return ((v * np.uint64(0x0101010101010101)) >> np.uint64(56)).astype(np.int64)
 
 
 def wrap_phase(phase: np.ndarray) -> np.ndarray:
@@ -83,11 +104,7 @@ class MMU:
         step = TWO_PI / self.modulus
         phase = (x * w).astype(np.float64) * step
         if self.phase_error_std > 0.0:
-            digits = self.bank.digits
-            x_brd = np.broadcast_to(x, phase.shape)
-            set_bits = np.zeros(phase.shape, dtype=np.int64)
-            for d in range(digits):
-                set_bits += (x_brd >> d) & 1
+            set_bits = np.broadcast_to(popcount(x), phase.shape)
             phase = phase + self.rng.normal(
                 0.0, self.phase_error_std, size=phase.shape
             ) * np.sqrt(set_bits)

@@ -120,12 +120,19 @@ class GemmQuantizer:
     axis_aware:
         When True, ``forward``/``backward`` receive an ``axis`` keyword
         identifying the reduction axis (needed by block formats).
+    deterministic_forward:
+        True when ``forward`` is a pure function of its input (i.e. no
+        stochastic rounding).  Lets weight-static layers cache the
+        quantised weight operand across calls.  Opt-in (default False) so
+        ad-hoc quantizers — which may round stochastically — are never
+        cached by accident.
     """
 
     name: str
     forward: Callable[..., np.ndarray]
     backward: Callable[..., np.ndarray]
     axis_aware: bool = False
+    deterministic_forward: bool = False
 
     def quantize_forward(self, x: np.ndarray, axis: int) -> np.ndarray:
         if self.axis_aware:
@@ -162,21 +169,30 @@ def make_quantizer(
     """
     key = name.lower()
     if key == "fp32":
-        return GemmQuantizer("FP32", _identity_fp32, _identity_fp32)
+        return GemmQuantizer(
+            "FP32", _identity_fp32, _identity_fp32, deterministic_forward=True
+        )
     if key == "bfloat16":
-        return GemmQuantizer("bfloat16", quantize_bfloat16, quantize_bfloat16)
+        return GemmQuantizer(
+            "bfloat16",
+            quantize_bfloat16,
+            quantize_bfloat16,
+            deterministic_forward=True,
+        )
     if key == "fp16":
-        return GemmQuantizer("FP16", quantize_fp16, quantize_fp16)
+        return GemmQuantizer(
+            "FP16", quantize_fp16, quantize_fp16, deterministic_forward=True
+        )
     if key == "int8":
         fn = lambda x: quantize_int(x, 8)
-        return GemmQuantizer("INT8", fn, fn)
+        return GemmQuantizer("INT8", fn, fn, deterministic_forward=True)
     if key == "int12":
         fn = lambda x: quantize_int(x, 12)
-        return GemmQuantizer("INT12", fn, fn)
+        return GemmQuantizer("INT12", fn, fn, deterministic_forward=True)
     if key == "hfp8":
         fwd = lambda x: quantize_minifloat(x, exp_bits=4, man_bits=3)
         bwd = lambda x: quantize_minifloat(x, exp_bits=5, man_bits=2)
-        return GemmQuantizer("HFP8", fwd, bwd)
+        return GemmQuantizer("HFP8", fwd, bwd, deterministic_forward=True)
     if key == "fmac":
         cfg = BFPConfig(bm=bm, g=g, rounding="stochastic")
         fn = lambda x, axis: quantize_tensor(x, cfg, axis=axis, rng=rng)
@@ -190,7 +206,13 @@ def make_quantizer(
             bcfg = BFPConfig(bm=bm, g=g, rounding=backward_rounding)
             brng = rng or np.random.default_rng(0)
             bwd = lambda x, axis: quantize_tensor(x, bcfg, axis=axis, rng=brng)
-        return GemmQuantizer(f"Mirage(bm={bm},g={g})", fn, bwd, axis_aware=True)
+        return GemmQuantizer(
+            f"Mirage(bm={bm},g={g})",
+            fn,
+            bwd,
+            axis_aware=True,
+            deterministic_forward=True,  # forward path always truncates
+        )
     raise ValueError(f"unknown format {name!r}; known: {sorted(AVAILABLE_FORMATS)}")
 
 

@@ -98,8 +98,10 @@ def mod_matmul(w, x, mset: ModuliSet) -> np.ndarray:
     """Modular matrix product per channel: ``| w @ x |_{m_i}``.
 
     ``w`` has shape ``(n, R, K)`` and ``x`` has shape ``(n, K, C)``; output
-    is ``(n, R, C)``.  Accumulation is chunked along ``K`` so the int64
-    partial sums cannot overflow even for long reductions.
+    is ``(n, R, C)``.  All ``n`` channels run through a single batched
+    matmul per chunk; accumulation is chunked along ``K`` with one shared
+    chunk size derived from ``max(m)`` so the int64 partial sums cannot
+    overflow even for long reductions.
     """
     w = _check_channels(w, mset)
     x = _check_channels(x, mset)
@@ -109,16 +111,17 @@ def mod_matmul(w, x, mset: ModuliSet) -> np.ndarray:
         raise ValueError(f"inner dims differ: {w.shape} @ {x.shape}")
     n, r, k = w.shape
     c = x.shape[2]
-    out = np.zeros((n, r, c), dtype=np.int64)
-    for i, m in enumerate(mset.moduli):
-        # Each product is < m^2; int64 safely accumulates 2^62 / m^2 terms.
-        chunk = max(1, (1 << 62) // max(1, m * m))
-        acc = np.zeros((r, c), dtype=np.int64)
-        for start in range(0, k, chunk):
-            stop = min(k, start + chunk)
-            acc = np.mod(acc + w[i, :, start:stop] @ x[i, start:stop, :], m)
-        out[i] = acc
-    return out
+    mods = _mods_column(mset, 2)
+    # Residues are < max(m), so every product is < max(m)^2 and a partial
+    # sum of ``chunk`` products plus the running mod-reduced accumulator
+    # (< max(m)) stays below 2^62 for the shared chunk size.
+    max_m = int(mset.moduli[-1])
+    chunk = max(1, (1 << 62) // (max_m * max_m))
+    acc = np.zeros((n, r, c), dtype=np.int64)
+    for start in range(0, k, chunk):
+        stop = min(k, start + chunk)
+        acc = np.mod(acc + np.matmul(w[:, :, start:stop], x[:, start:stop, :]), mods)
+    return acc
 
 
 @dataclass(frozen=True)

@@ -166,21 +166,36 @@ def crt_reverse(residues, mset: ModuliSet) -> np.ndarray:
         )
     big_m = mset.dynamic_range
     mi, ti = mset.crt_weights
-    if big_m.bit_length() <= 31 and res.dtype != object:
-        # Products x_i * (M_i T_i mod M) stay well within int64.
-        acc = np.zeros(res.shape[1:], dtype=np.int64)
+    # int64 fast path whenever every partial ``acc + x_i * w_i`` fits:
+    # acc < M and x_i * w_i < m_max * M, so m_max * M + M must stay < 2^63.
+    max_m = mset.moduli[-1]
+    if (max_m + 1) * big_m < (1 << 63) and res.dtype != object:
+        # Defer the expensive modulo while the running worst-case bound
+        # fits int64 — for small sets (e.g. the special 3-moduli sets) the
+        # whole sum reduces with a single ``%``.
+        acc = None
+        bound = 0
         for i in range(mset.n):
             weight = (mi[i] * ti[i]) % big_m
-            acc = (acc + res[i].astype(np.int64) * np.int64(weight)) % np.int64(big_m)
+            term_bound = (mset.moduli[i] - 1) * weight
+            if acc is None:
+                acc = res[i].astype(np.int64) * np.int64(weight)
+                bound = term_bound
+            else:
+                if bound + term_bound >= (1 << 63):
+                    acc %= np.int64(big_m)
+                    bound = big_m - 1
+                acc += res[i].astype(np.int64, copy=False) * np.int64(weight)
+                bound += term_bound
+        acc %= np.int64(big_m)
         return acc
-    flat = res.reshape(mset.n, -1)
-    out = np.empty(flat.shape[1], dtype=object)
-    for j in range(flat.shape[1]):
-        total = 0
-        for i in range(mset.n):
-            total += int(flat[i, j]) * mi[i] * ti[i]
-        out[j] = total % big_m
-    out = out.reshape(res.shape[1:])
+    # Big-M fallback: channel-wise accumulation on Python-int object arrays
+    # (one vectorised op per modulus instead of a per-element double loop).
+    acc = np.zeros(res.shape[1:], dtype=object)
+    for i in range(mset.n):
+        weight = (mi[i] * ti[i]) % big_m
+        acc = acc + res[i].astype(object) * weight
+    out = acc % big_m
     if big_m.bit_length() <= _INT64_SAFE_BITS:
         return out.astype(np.int64)
     return out
@@ -202,13 +217,13 @@ def mixed_radix_digits(residues, mset: ModuliSet) -> np.ndarray:
     if res.shape[0] != mset.n:
         raise ValueError(f"expected {mset.n} residue channels, got {res.shape}")
     mods = mset.moduli
+    inv_table = mset.mixed_radix_inverses
     digits = np.zeros_like(res, dtype=np.int64)
     work = [res[i].astype(np.int64).copy() for i in range(mset.n)]
     for i in range(mset.n):
         digits[i] = np.mod(work[i], mods[i])
         for j in range(i + 1, mset.n):
-            inv = pow(mods[i] % mods[j], -1, mods[j])
-            work[j] = np.mod((work[j] - digits[i]) * inv, mods[j])
+            work[j] = np.mod((work[j] - digits[i]) * inv_table[i][j], mods[j])
     return digits
 
 

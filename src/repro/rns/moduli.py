@@ -75,6 +75,7 @@ class ModuliSet:
     moduli: Tuple[int, ...]
     _mi: Tuple[int, ...] = field(init=False, repr=False, compare=False)
     _ti: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _mr_inv: Tuple[Tuple[int, ...], ...] = field(init=False, repr=False, compare=False)
 
     def __init__(self, moduli: Iterable[int]):
         mods = tuple(sorted(int(m) for m in moduli))
@@ -93,6 +94,14 @@ class ModuliSet:
         ti = tuple(pow(mi_k % m, -1, m) for mi_k, m in zip(mi, mods))
         object.__setattr__(self, "_mi", mi)
         object.__setattr__(self, "_ti", ti)
+        mr_inv = tuple(
+            tuple(
+                pow(mods[i] % mods[j], -1, mods[j]) if j > i else 0
+                for j in range(len(mods))
+            )
+            for i in range(len(mods))
+        )
+        object.__setattr__(self, "_mr_inv", mr_inv)
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -125,6 +134,12 @@ class ModuliSet:
     def crt_weights(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
         """``(M_i, T_i)`` pairs for the Chinese Remainder Theorem (Eq. 5)."""
         return self._mi, self._ti
+
+    @property
+    def mixed_radix_inverses(self) -> Tuple[Tuple[int, ...], ...]:
+        """Precomputed ``|m_i^{-1}|_{m_j}`` table (``j > i``) for mixed-radix
+        conversion; entries with ``j <= i`` are unused and stored as 0."""
+        return self._mr_inv
 
     def residue_bits(self) -> Tuple[int, ...]:
         """Bits needed per residue channel: ``ceil(log2(m_i))``."""

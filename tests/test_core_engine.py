@@ -1,0 +1,390 @@
+"""Tests for the one-pass batched GEMM engine.
+
+Covers the weight-static programming API (``program`` / ``matmul_programmed``
+/ ``matmul_many``), bit-exactness of both the fused noiseless path and the
+reduce-then-CRT fallback across ragged shapes, the batched device-level
+entry point (``mvm_grouped``), and the statistical
+equivalence of the vectorised noise path with the per-tile reference
+semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfp import BFPConfig, bfp_matmul_exact
+from repro.core import CoreConfig, PhotonicExecutor, PhotonicRnsTensorCore
+from repro.nn import Linear
+from repro.photonic import NoiseModel, RnsMMVMU
+from repro.photonic.mmu import popcount
+from repro.rns import ModuliSet, mod_matmul, special_moduli_set
+from repro.rns.conversion import (
+    crt_reverse,
+    forward_convert,
+    mixed_radix_reverse,
+)
+
+
+class TestProgrammedWeights:
+    def test_program_then_stream_equals_one_shot(self, rng):
+        core = PhotonicRnsTensorCore(CoreConfig(v=8))
+        w = rng.normal(size=(13, 37))
+        pw = core.program(w)
+        for c in (1, 5, 9):
+            x = rng.normal(size=(37, c))
+            assert np.array_equal(
+                core.matmul_programmed(pw, x), core.matmul(w, x)
+            )
+
+    def test_programmed_is_bit_exact(self, rng):
+        core = PhotonicRnsTensorCore()
+        w = rng.normal(size=(40, 50))
+        x = rng.normal(size=(50, 7))
+        pw = core.program(w)
+        assert np.array_equal(
+            core.matmul_programmed(pw, x),
+            bfp_matmul_exact(w, x, BFPConfig(4, 16)),
+        )
+
+    def test_matches_validates_source(self, rng):
+        core = PhotonicRnsTensorCore()
+        w = rng.normal(size=(8, 16))
+        pw = core.program(w)
+        assert pw.matches(w)
+        assert not pw.matches(w + 1e-9)
+        assert not pw.matches(w[:4])
+
+    def test_programming_counts_tiles_once(self, rng):
+        core = PhotonicRnsTensorCore(CoreConfig(v=8))
+        w = rng.normal(size=(16, 32))
+        pw = core.program(w)
+        assert core.tiles_programmed == 4  # 2 K-groups x 2 row tiles
+        core.matmul_programmed(pw, rng.normal(size=(32, 5)))
+        assert core.tiles_programmed == 4  # streaming does not reprogram
+        assert core.mvm_cycles == 20
+
+    def test_shape_validation(self, rng):
+        core = PhotonicRnsTensorCore()
+        pw = core.program(rng.normal(size=(8, 16)))
+        with pytest.raises(ValueError):
+            core.matmul_programmed(pw, rng.normal(size=(15, 3)))
+        with pytest.raises(ValueError):
+            core.program(rng.normal(size=(8,)))
+
+
+class TestMatmulMany:
+    def test_equals_individual_matmuls(self, rng):
+        core = PhotonicRnsTensorCore(CoreConfig(v=8))
+        w = rng.normal(size=(13, 37))
+        xs = [rng.normal(size=(37, c)) for c in (4, 1, 7)]
+        outs = core.matmul_many(w, xs)
+        assert len(outs) == 3
+        for x, out in zip(xs, outs):
+            assert np.array_equal(out, core.matmul(w, x))
+
+    def test_empty_list(self, rng):
+        core = PhotonicRnsTensorCore()
+        assert core.matmul_many(rng.normal(size=(8, 16)), []) == []
+
+    def test_shape_mismatch_raises(self, rng):
+        core = PhotonicRnsTensorCore()
+        with pytest.raises(ValueError):
+            core.matmul_many(
+                rng.normal(size=(8, 16)), [rng.normal(size=(15, 2))]
+            )
+
+
+class TestExecutorWeightCache:
+    def test_linear_reuses_programming(self, rng):
+        ex = PhotonicExecutor()
+        layer = Linear(16, 4, rng=rng)
+        x = rng.normal(size=(5, 16))
+        first = ex.linear(layer, x)
+        programmed = ex.core.tiles_programmed
+        second = ex.linear(layer, x)
+        assert ex.core.tiles_programmed == programmed
+        assert np.array_equal(first, second)
+
+    def test_weight_update_reprograms(self, rng):
+        ex = PhotonicExecutor()
+        layer = Linear(16, 4, rng=rng)
+        x = rng.normal(size=(5, 16))
+        before = ex.linear(layer, x)
+        programmed = ex.core.tiles_programmed
+        layer.weight.data[0, 0] += 1.0
+        after = ex.linear(layer, x)
+        assert ex.core.tiles_programmed > programmed
+        assert not np.array_equal(before, after)
+
+
+class TestFallbackPath:
+    """Moduli sets whose CRT accumulation exceeds float64's exact range
+    must take the reduce-then-CRT fallback — and stay bit-exact."""
+
+    def test_large_k_bit_exact(self, rng):
+        cfg = CoreConfig(bm=8, g=4, k=12, v=4)
+        core = PhotonicRnsTensorCore(cfg)
+        w = rng.normal(size=(9, 11))
+        x = rng.normal(size=(11, 3))
+        assert np.array_equal(
+            core.matmul(w, x), bfp_matmul_exact(w, x, BFPConfig(8, 4))
+        )
+
+    def test_large_k_program_fused_disabled(self, rng):
+        core = PhotonicRnsTensorCore(CoreConfig(bm=8, g=4, k=12, v=4))
+        pw = core.program(rng.normal(size=(9, 11)))
+        assert pw.fused is None
+
+
+class TestGroupedEngine:
+    def test_mvm_grouped_matches_mod_matmul(self, rng, mset5):
+        g, v = 16, 8
+        engine = RnsMMVMU(mset5, g, v)
+        big_g, t, c = 3, 2, 5
+        w_res = np.stack(
+            [rng.integers(0, m, size=(big_g, t, v, g)) for m in mset5.moduli]
+        )
+        x_res = np.stack(
+            [rng.integers(0, m, size=(c, big_g, g)) for m in mset5.moduli]
+        )
+        out = engine.mvm_grouped(w_res, x_res)  # (n, G, C, T, v)
+        assert out.shape == (3, big_g, c, t, v)
+        for gi in range(big_g):
+            ref = mod_matmul(
+                w_res[:, gi].reshape(3, t * v, g),
+                x_res[:, :, gi].transpose(0, 2, 1),
+                mset5,
+            )  # (n, T*v, C)
+            got = out[:, gi].transpose(0, 2, 3, 1).reshape(3, t * v, c)
+            assert np.array_equal(got, ref)
+
+    def test_mvm_grouped_matches_per_tile_mvm(self, rng, mset5):
+        g, v = 8, 4
+        engine = RnsMMVMU(mset5, g, v)
+        big_g, t, c = 2, 3, 6
+        w_res = np.stack(
+            [rng.integers(0, m, size=(big_g, t, v, g)) for m in mset5.moduli]
+        )
+        x_res = np.stack(
+            [rng.integers(0, m, size=(c, big_g, g)) for m in mset5.moduli]
+        )
+        grouped = engine.mvm_grouped(w_res, x_res)
+        for gi in range(big_g):
+            for ti in range(t):
+                per_tile = engine.mvm(
+                    w_res[:, gi, ti], x_res[:, :, gi]
+                )  # (n, C, v)
+                assert np.array_equal(grouped[:, gi, :, ti, :], per_tile)
+
+    def test_crt_absorbs_unreduced_phase_sums(self, rng, mset5):
+        """The identity behind the fused noiseless path: CRT weights
+        absorb *unreduced* dot sums, so one final mod performs every
+        wrap — must agree with reduce-then-CRT of the device output."""
+        g, v = 16, 8
+        engine = RnsMMVMU(mset5, g, v)
+        big_g, t, c = 2, 2, 4
+        w_res = np.stack(
+            [rng.integers(0, m, size=(big_g, t, v, g)) for m in mset5.moduli]
+        )
+        x_res = np.stack(
+            [rng.integers(0, m, size=(c, big_g, g)) for m in mset5.moduli]
+        )
+        raw = np.einsum("ncgj,ngtvj->ngctv", x_res, w_res)  # unreduced sums
+        residues = engine.mvm_grouped(w_res, x_res)
+        for i, m in enumerate(mset5.moduli):
+            assert np.array_equal(np.mod(raw[i], m), residues[i])
+        mi, ti = mset5.crt_weights
+        big_m = mset5.dynamic_range
+        fused = sum(
+            raw[i] * ((mi[i] * ti[i]) % big_m) for i in range(mset5.n)
+        ) % big_m
+        assert np.array_equal(fused, crt_reverse(residues, mset5))
+
+    def test_popcount_matches_python(self):
+        vals = np.array([0, 1, 2, 3, 31, 32, 33, 1023, 2**40 - 1, 2**62])
+        expect = np.array([bin(int(x)).count("1") for x in vals])
+        assert np.array_equal(popcount(vals), expect)
+
+
+class TestBitExactnessProperty:
+    """Ragged-shape property test of the one-pass engine (R, K, C not
+    multiples of v/g), including program+stream equivalence."""
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_ragged_bit_exactness(self, seed):
+        rng = np.random.default_rng(seed)
+        v = int(rng.choice([4, 8, 32]))
+        g = int(rng.choice([8, 16]))
+        cfg = CoreConfig(bm=4, g=g, v=v, k=5)
+        core = PhotonicRnsTensorCore(cfg)
+        r = int(rng.integers(1, 40))
+        k = int(rng.integers(1, 70))
+        c = int(rng.integers(1, 9))
+        w = rng.normal(size=(r, k)) * 10.0 ** rng.integers(-3, 4)
+        x = rng.normal(size=(k, c))
+        ref = bfp_matmul_exact(w, x, BFPConfig(4, g))
+        assert np.array_equal(core.matmul(w, x), ref)
+        pw = core.program(w)
+        assert np.array_equal(core.matmul_programmed(pw, x), ref)
+
+
+class TestVectorizedNoiseStatistics:
+    """The one-pass noise path must stay distributionally equivalent to
+    the per-tile per-digit injection semantics."""
+
+    def _flip_rate(self, out, ref):
+        return float(np.mean(out != ref))
+
+    def test_seeded_noise_is_deterministic(self, rng):
+        w = rng.normal(size=(16, 32))
+        x = rng.normal(size=(32, 8))
+        outs = []
+        for _ in range(2):
+            core = PhotonicRnsTensorCore(
+                noise=NoiseModel(phase_error_std=0.1),
+                rng=np.random.default_rng(7),
+            )
+            outs.append(core.matmul(w, x))
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_phase_error_flip_rate_matches_per_tile_reference(self, mset5):
+        """Residue flip rates of the grouped path vs the per-tile path
+        (same per-digit semantics, independent draws) must agree."""
+        g, v = 16, 8
+        std = 0.25
+        rng = np.random.default_rng(3)
+        big_g, t, c = 2, 2, 40
+        w_res = np.stack(
+            [rng.integers(0, m, size=(big_g, t, v, g)) for m in mset5.moduli]
+        )
+        x_res = np.stack(
+            [rng.integers(0, m, size=(c, big_g, g)) for m in mset5.moduli]
+        )
+        ideal = RnsMMVMU(mset5, g, v).mvm_grouped(w_res, x_res)
+
+        noise = NoiseModel(phase_error_std=std)
+        trials = 6
+        grouped_flips, tile_flips = [], []
+        for trial in range(trials):
+            eng_g = RnsMMVMU(
+                mset5, g, v, noise, np.random.default_rng(100 + trial)
+            )
+            grouped_flips.append(
+                self._flip_rate(eng_g.mvm_grouped(w_res, x_res), ideal)
+            )
+            eng_t = RnsMMVMU(
+                mset5, g, v, noise, np.random.default_rng(200 + trial)
+            )
+            per_tile = np.stack(
+                [
+                    np.stack(
+                        [
+                            eng_t.mvm(w_res[:, gi, ti], x_res[:, :, gi])
+                            for ti in range(t)
+                        ],
+                        axis=2,
+                    )
+                    for gi in range(big_g)
+                ],
+                axis=1,
+            )  # (n, G, C, T, v)
+            tile_flips.append(self._flip_rate(per_tile, ideal))
+        grouped_rate = np.mean(grouped_flips)
+        tile_rate = np.mean(tile_flips)
+        assert grouped_rate > 0.0 and tile_rate > 0.0
+        # Same distribution => rates within a generous band of each other.
+        assert abs(grouped_rate - tile_rate) < 0.05
+
+    def test_detector_noise_flip_rate_matches_per_tile_reference(self, mset5):
+        g, v = 16, 8
+        rng = np.random.default_rng(4)
+        big_g, t, c = 2, 2, 40
+        w_res = np.stack(
+            [rng.integers(0, m, size=(big_g, t, v, g)) for m in mset5.moduli]
+        )
+        x_res = np.stack(
+            [rng.integers(0, m, size=(c, big_g, g)) for m in mset5.moduli]
+        )
+        ideal = RnsMMVMU(mset5, g, v).mvm_grouped(w_res, x_res)
+        noise = NoiseModel.from_snr(9.0)
+        trials = 6
+        grouped_flips, tile_flips = [], []
+        for trial in range(trials):
+            eng_g = RnsMMVMU(
+                mset5, g, v, noise, np.random.default_rng(300 + trial)
+            )
+            grouped_flips.append(
+                self._flip_rate(eng_g.mvm_grouped(w_res, x_res), ideal)
+            )
+            eng_t = RnsMMVMU(
+                mset5, g, v, noise, np.random.default_rng(400 + trial)
+            )
+            per_tile = np.stack(
+                [
+                    np.stack(
+                        [
+                            eng_t.mvm(w_res[:, gi, ti], x_res[:, :, gi])
+                            for ti in range(t)
+                        ],
+                        axis=2,
+                    )
+                    for gi in range(big_g)
+                ],
+                axis=1,
+            )
+            tile_flips.append(self._flip_rate(per_tile, ideal))
+        grouped_rate = np.mean(grouped_flips)
+        tile_rate = np.mean(tile_flips)
+        assert grouped_rate > 0.0 and tile_rate > 0.0
+        assert abs(grouped_rate - tile_rate) < 0.05
+
+
+class TestVectorizedRnsKernels:
+    """Satellite coverage: batched mod_matmul and the vectorised CRT
+    big-M fallback."""
+
+    def test_mod_matmul_big_moduli_chunked(self):
+        mset = ModuliSet((2**31 - 1, 2**31 - 19))
+        rng = np.random.default_rng(0)
+        n, r, k, c = 2, 3, 7, 4
+        w = np.stack(
+            [rng.integers(0, m, size=(r, k)) for m in mset.moduli]
+        )
+        x = np.stack(
+            [rng.integers(0, m, size=(k, c)) for m in mset.moduli]
+        )
+        out = mod_matmul(w, x, mset)
+        for i, m in enumerate(mset.moduli):
+            ref = np.zeros((r, c), dtype=object)
+            for a in range(r):
+                for b in range(c):
+                    ref[a, b] = (
+                        sum(int(w[i, a, j]) * int(x[i, j, b]) for j in range(k)) % m
+                    )
+            assert np.array_equal(out[i].astype(object), ref)
+
+    def test_crt_object_path_matches_mixed_radix(self):
+        # Product > 2^63 forces the channel-wise object-array fallback.
+        mset = ModuliSet((65521, 65519, 65497, 65479))
+        rng = np.random.default_rng(1)
+        vals = rng.integers(0, 2**40, size=(3, 5))
+        res = forward_convert(vals, mset)
+        rebuilt = crt_reverse(res, mset)
+        assert np.array_equal(
+            np.asarray(rebuilt, dtype=np.int64), vals
+        )
+        assert np.array_equal(
+            np.asarray(rebuilt), np.asarray(mixed_radix_reverse(res, mset))
+        )
+
+    def test_mixed_radix_inverse_table_cached(self):
+        mset = special_moduli_set(5)
+        table = mset.mixed_radix_inverses
+        for i in range(mset.n):
+            for j in range(i + 1, mset.n):
+                assert (
+                    table[i][j]
+                    == pow(mset.moduli[i] % mset.moduli[j], -1, mset.moduli[j])
+                )
