@@ -11,6 +11,10 @@ finish within ``REPRO_BENCH_BUDGET`` seconds (default 1.0 — roughly 5x the
 one-pass engine's time, far below the 2.3 s of the per-tile loop), so a
 return to per-tile execution fails loudly.
 
+``REPRO_SMOKE=1`` runs a tiny-shape, single-round pass that checks the
+engine end to end without timing anything meaningful — it neither writes
+``BENCH_core_gemm.json`` nor enforces the budget.
+
 Run:  PYTHONPATH=src python -m pytest benchmarks/bench_core_perf.py -s
 """
 
@@ -24,7 +28,13 @@ import numpy as np
 from repro.bfp import BFPConfig, bfp_matmul_exact
 from repro.core import PhotonicRnsTensorCore
 
-GEMM_SIZES = ((128, 128, 64), (256, 256, 128), (512, 512, 256))
+SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+
+GEMM_SIZES = (
+    ((32, 32, 16), (64, 64, 32))
+    if SMOKE
+    else ((128, 128, 64), (256, 256, 128), (512, 512, 256))
+)
 
 # Per-tile loop implementation (seed commit 672c752), same machine/sizes.
 SEED_BASELINE = {
@@ -37,7 +47,8 @@ SEED_BASELINE = {
 BUDGET_S = float(os.environ.get("REPRO_BENCH_BUDGET", "1.0"))
 
 
-def _best_of(fn, rounds=3):
+def _best_of(fn, rounds=None):
+    rounds = rounds if rounds is not None else (1 if SMOKE else 3)
     best = float("inf")
     for _ in range(rounds):
         t0 = time.perf_counter()
@@ -70,6 +81,12 @@ def test_core_gemm_perf():
     assert np.array_equal(
         core.matmul(w, x), bfp_matmul_exact(w, x, BFPConfig(4, 16))
     )
+
+    if SMOKE:
+        print("\ncore GEMM smoke pass (tiny shapes, untimed):")
+        for key, val in results.items():
+            print(f"  {key:30s} {val:8.4f} s")
+        return
 
     speedups = {
         key: round(SEED_BASELINE[key] / results[key], 2) for key in results

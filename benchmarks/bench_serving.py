@@ -1,0 +1,179 @@
+"""Serving-runtime benchmark — dynamic micro-batching under traffic.
+
+Drives the :mod:`repro.serve` deployment (admission queue → micro-batcher
+→ executor pool) through the four canonical traffic scenarios and writes
+``BENCH_serving.json`` at the repo root:
+
+* **poisson** is run twice at the *same offered load* — once with
+  dynamic micro-batching, once with classic batch-1 serving — and the
+  headline number is the throughput gain (the acceptance bar is >= 3x:
+  batching amortizes the 5 ns weight-reprogram across the batch);
+* **bursty**, **diurnal** and **multi_tenant** run micro-batched and
+  report p50/p95/p99 latency, batch-size histogram, queue depth,
+  programmed-cache hit rate, and simulated-hardware SLO attainment
+  cross-checked against the analytic ``arch`` latency model.
+
+``REPRO_SMOKE=1`` runs a tiny-trace fast pass (smaller rates, shorter
+horizons) that checks the machinery end to end without touching the
+committed JSON.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -s
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.serve import (
+    BatchPolicy,
+    ExecutorPool,
+    ModelProfile,
+    ServingRuntime,
+    bursty_scenario,
+    diurnal_scenario,
+    multi_tenant_scenario,
+    poisson_scenario,
+)
+
+SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+
+# Offered load (req/s) sits ~5x above the pool's batch-1 capacity for the
+# primary model, so batch-1 serving saturates while micro-batching keeps
+# up — the regime the serving runtime exists for.
+RATE = 4e9 if SMOKE else 1.5e9
+DURATION = 2.5e-7 if SMOKE else 4e-6
+MAX_BATCH = 32
+MAX_WAIT_S = 5e-8 if SMOKE else 2e-7
+NUM_WORKERS = 4
+QUEUE_CAPACITY = 256
+SLO_S = 2e-6
+
+
+def _mlp(seed, dims):
+    rng = np.random.default_rng(seed)
+    layers = []
+    for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+        layers.append(Linear(d_in, d_out, rng=rng))
+        if i < len(dims) - 2:
+            layers.append(ReLU())
+    return Sequential(*layers)
+
+
+def _profiles():
+    dims = {
+        "mlp_a": (64, 128, 10),
+        "mlp_b": (128, 128, 32, 10),
+        "mlp_c": (32, 64, 10),
+    }
+    if SMOKE:
+        dims = {k: tuple(max(8, d // 4) for d in v) for k, v in dims.items()}
+    return {
+        name: ModelProfile(name, _mlp(i, d), replicas=NUM_WORKERS, slo_s=SLO_S)
+        for i, (name, d) in enumerate(dims.items())
+    }
+
+
+def _deploy(profiles, names, policy):
+    pool = ExecutorPool(NUM_WORKERS, policy="cache_affinity")
+    runtime = ServingRuntime(
+        pool, policy, queue_capacity=QUEUE_CAPACITY
+    )
+    for name in names:
+        runtime.register_model(profiles[name])
+    return runtime
+
+
+def _run(profiles, names, scenario, policy):
+    runtime = _deploy(profiles, names, policy)
+    runtime.run(scenario, seed=42)
+    return runtime.report(scenario, slo_s=SLO_S)
+
+
+def test_serving_scenarios():
+    profiles = _profiles()
+    microbatch = BatchPolicy(max_batch_size=MAX_BATCH, max_wait_s=MAX_WAIT_S)
+    batch1 = BatchPolicy(max_batch_size=1, max_wait_s=0.0)
+
+    scenarios = {
+        "poisson": poisson_scenario("mlp_a", RATE, DURATION, seed=1),
+        "bursty": bursty_scenario(
+            "mlp_a", 2 * RATE, DURATION / 8, DURATION / 8, DURATION, seed=2
+        ),
+        "diurnal": diurnal_scenario(
+            "mlp_a", RATE / 10, 2 * RATE, DURATION, seed=3
+        ),
+        "multi_tenant": multi_tenant_scenario(
+            {"mlp_a": 6.0, "mlp_b": 3.0, "mlp_c": 1.0}, RATE, DURATION, seed=4
+        ),
+    }
+
+    reports = {}
+    for name, scenario in scenarios.items():
+        names = (
+            ["mlp_a", "mlp_b", "mlp_c"] if name == "multi_tenant" else ["mlp_a"]
+        )
+        reports[name] = _run(profiles, names, scenario, microbatch)
+
+    baseline = _run(
+        profiles, ["mlp_a"], scenarios["poisson"], batch1
+    )
+    gain = (
+        reports["poisson"]["throughput_rps"] / baseline["throughput_rps"]
+        if baseline["throughput_rps"]
+        else float("inf")
+    )
+
+    print("\nserving scenarios (micro-batched):")
+    for name, rep in reports.items():
+        lat = rep["latency"]
+        cache = rep["programmed_cache"]
+        print(
+            f"  {name:13s} completed={rep['completed']:6d} "
+            f"thr={rep['throughput_rps']:.3e}/s "
+            f"p99={lat['p99_s']:.3e}s "
+            f"batch~{rep['mean_batch_size']:.1f} "
+            f"cache={cache['hit_rate']:.3f} "
+            f"slo={rep['slo_attainment']:.3f}"
+        )
+    print(
+        f"  poisson batch-1 thr={baseline['throughput_rps']:.3e}/s "
+        f"-> micro-batching gain {gain:.2f}x"
+    )
+
+    # The telemetry must agree exactly with the analytic latency model.
+    for rep in list(reports.values()) + [baseline]:
+        assert rep["analytic_consistency"]["max_abs_error_s"] == 0.0
+
+    if SMOKE:
+        # Machinery check only: everything completed or was shed, and
+        # batching is not slower than batch-1 at equal load.
+        assert all(r["completed"] > 0 for r in reports.values())
+        assert gain >= 1.0
+        return
+
+    assert gain >= 3.0, (
+        f"micro-batching gained only {gain:.2f}x over batch-1 serving "
+        f"at offered load {RATE:.2e}/s — the batching scheduler has "
+        "stopped amortizing weight reprogramming"
+    )
+
+    payload = {
+        "config": {
+            "num_workers": NUM_WORKERS,
+            "routing_policy": "cache_affinity",
+            "max_batch_size": MAX_BATCH,
+            "max_wait_s": MAX_WAIT_S,
+            "queue_capacity": QUEUE_CAPACITY,
+            "offered_rate_rps": RATE,
+            "duration_s": DURATION,
+            "slo_s": SLO_S,
+        },
+        "scenarios": reports,
+        "poisson_batch1_baseline": baseline,
+        "microbatch_throughput_gain_vs_batch1": round(gain, 2),
+    }
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,35 @@
+"""Repo-wide pytest configuration.
+
+Registers the ``slow`` marker and skips slow-marked tests by default so
+the tier-1 suite stays fast.  Run them with ``--runslow`` or
+``REPRO_FULL=1``; the explicit benchmark modules under ``benchmarks/``
+additionally honour ``REPRO_SMOKE=1`` for a tiny-shape fast pass.
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked @pytest.mark.slow",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test, skipped unless --runslow/REPRO_FULL=1"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow") or os.environ.get("REPRO_FULL") == "1":
+        return
+    skip_slow = pytest.mark.skip(reason="slow: pass --runslow or REPRO_FULL=1")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,0 +1,112 @@
+"""Serving-runtime demo: queue → scheduler → pool wiring in ~20 lines.
+
+Quickstart::
+
+    import numpy as np
+    from repro.nn import Linear, ReLU, Sequential
+    from repro.serve import (BatchPolicy, ExecutorPool, ModelProfile,
+                             ServingRuntime, poisson_scenario)
+
+    model = Sequential(Linear(64, 128), ReLU(), Linear(128, 10))
+
+    pool = ExecutorPool(4, policy="cache_affinity")   # 4 photonic cores
+    runtime = ServingRuntime(                          # admission queue +
+        pool,                                          # micro-batcher on top
+        BatchPolicy(max_batch_size=32, max_wait_s=2e-7),
+        queue_capacity=256,
+    )
+    runtime.register_model(                            # shard 4 replicas,
+        ModelProfile("mlp", model, replicas=4, slo_s=2e-6)  # prewarm caches
+    )
+
+    scenario = poisson_scenario("mlp", rate=1e9, duration=2e-6, seed=0)
+    runtime.run(scenario, seed=1)                      # simulated clock
+    report = runtime.report(scenario)                  # p50/p95/p99, SLO, …
+
+Requests flow: the scenario's arrivals enter the bounded
+``AdmissionQueue``; the ``MicroBatcher`` coalesces same-model requests
+until the batch fills or the oldest request's ``max_wait_s`` deadline
+expires; the ``ExecutorPool`` routes each micro-batch to a free replica
+core, which executes it *functionally* (one batched GEMM stream through
+the weight-programmed photonic core) while simulated time advances by
+the analytic ``repro.arch`` hardware latency.
+
+This script runs the quickstart against micro-batching AND batch-1
+serving at the same offered load and prints both reports side by side.
+"""
+
+import numpy as np
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.serve import (
+    BatchPolicy,
+    ExecutorPool,
+    ModelProfile,
+    ServingRuntime,
+    poisson_scenario,
+)
+
+
+def build_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(64, 128, rng=rng), ReLU(), Linear(128, 10, rng=rng)
+    )
+
+
+def serve(policy: BatchPolicy, scenario):
+    pool = ExecutorPool(4, policy="cache_affinity")
+    runtime = ServingRuntime(pool, policy, queue_capacity=256)
+    runtime.register_model(
+        ModelProfile("mlp", build_model(), replicas=4, slo_s=2e-6)
+    )
+    runtime.run(scenario, seed=1)
+    return runtime.report(scenario)
+
+
+def main():
+    scenario = poisson_scenario("mlp", rate=1e9, duration=1e-6, seed=0)
+    print(
+        f"Poisson traffic: {scenario.num_requests} requests over "
+        f"{scenario.duration_s * 1e6:.1f} us "
+        f"({scenario.offered_rate:.2e} req/s offered)\n"
+    )
+
+    batched = serve(BatchPolicy(max_batch_size=32, max_wait_s=2e-7), scenario)
+    single = serve(BatchPolicy(max_batch_size=1, max_wait_s=0.0), scenario)
+
+    header = f"{'':24s} {'micro-batched':>15s} {'batch-1':>15s}"
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("completed", "completed", "{:d}"),
+        ("rejected", "rejected", "{:d}"),
+        ("throughput (req/s)", "throughput_rps", "{:.3e}"),
+        ("mean batch size", "mean_batch_size", "{:.1f}"),
+        ("SLO attainment", "slo_attainment", "{:.3f}"),
+    ]
+    for label, key, fmt in rows:
+        print(
+            f"{label:24s} {fmt.format(batched[key]):>15s} "
+            f"{fmt.format(single[key]):>15s}"
+        )
+    for pct in ("p50_s", "p95_s", "p99_s"):
+        print(
+            f"latency {pct:16s} {batched['latency'][pct]:>15.3e} "
+            f"{single['latency'][pct]:>15.3e}"
+        )
+    cache_b = batched["programmed_cache"]["hit_rate"]
+    cache_s = single["programmed_cache"]["hit_rate"]
+    print(f"{'cache hit rate':24s} {cache_b:>15.3f} {cache_s:>15.3f}")
+
+    gain = batched["throughput_rps"] / single["throughput_rps"]
+    print(
+        f"\nmicro-batching sustained {gain:.1f}x the batch-1 throughput "
+        "at equal offered load"
+    )
+    check = batched["analytic_consistency"]["max_abs_error_s"]
+    print(f"telemetry vs analytic arch model: max drift {check:.1e} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,8 @@ Reproduces Demirkiran et al., ISCA 2024 (arXiv:2311.17323) end to end:
   energy, area, systolic baselines, iso-energy/iso-area comparisons);
 * :mod:`repro.core` — the photonic RNS tensor core executing the full
   Fig. 2 dataflow, bit-exact against the BFP reference when noiseless;
+* :mod:`repro.serve` — inference serving runtime (bounded admission,
+  dynamic micro-batching, executor pools, traffic scenarios, telemetry);
 * :mod:`repro.analysis` — one experiment generator per paper table/figure.
 
 Quickstart::
@@ -29,7 +31,7 @@ Quickstart::
     y = core.matmul(w, x)                    # full photonic RNS dataflow
 """
 
-from . import analysis, arch, bfp, core, nn, photonic, quant, rns
+from . import analysis, arch, bfp, core, nn, photonic, quant, rns, serve
 
 __version__ = "1.0.0"
 
@@ -41,6 +43,7 @@ __all__ = [
     "photonic",
     "arch",
     "core",
+    "serve",
     "analysis",
     "__version__",
 ]

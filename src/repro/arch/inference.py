@@ -20,6 +20,8 @@ from .workloads import LayerShape, TrainingGemm, training_gemms, workload
 __all__ = [
     "inference_latency",
     "inference_metrics",
+    "microbatch_latency",
+    "per_request_latency",
     "PUBLISHED_INFERENCE_ACCELERATORS",
     "table3_rows",
 ]
@@ -63,6 +65,46 @@ def inference_metrics(
         "ips_per_mm2": ips / area_mm2,
         "power_w": power,
         "latency_s": latency,
+    }
+
+
+def microbatch_latency(
+    layers: Sequence[LayerShape],
+    accelerator: Optional[MirageAccelerator] = None,
+) -> float:
+    """Seconds to serve one micro-batch whose size is baked into ``layers``.
+
+    Identical to :func:`inference_latency`; the alias exists so serving
+    code reads as what it means (the batch dimension lives inside each
+    layer's ``GemmShape.n``, per the im2col convention).
+    """
+    return inference_latency(layers, accelerator)
+
+
+def per_request_latency(
+    layers: Sequence[LayerShape],
+    batch: int,
+    accelerator: Optional[MirageAccelerator] = None,
+) -> Dict[str, float]:
+    """Per-request latency accounting for a micro-batch of ``batch`` requests.
+
+    ``layers`` must already be shaped at ``batch`` (their forward GEMMs
+    carry ``N = batch * spatial``).  Returns the batch service latency
+    and the amortized per-request share.  Comparing ``per_request_s``
+    across batch sizes exposes the effect dynamic micro-batching
+    (:mod:`repro.serve`) is built to exploit: weight-tile reprogramming
+    is paid per tile, not per streamed vector, so batching amortizes the
+    5 ns phase-shifter settles across requests.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    accelerator = accelerator or MirageAccelerator()
+    batch_s = microbatch_latency(layers, accelerator)
+    per_request_s = batch_s / batch
+    return {
+        "batch": float(batch),
+        "batch_latency_s": batch_s,
+        "per_request_s": per_request_s,
     }
 
 

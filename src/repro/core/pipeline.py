@@ -9,6 +9,8 @@ hardware" evaluations — the Monte-Carlo noise studies of Section VI-E.
 
 from __future__ import annotations
 
+import itertools
+import weakref
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -32,6 +34,17 @@ class PhotonicExecutor:
     (validated against the current weight data on every call, so updating
     a layer's weights transparently reprograms it).  Repeated inference
     therefore only streams activations — the weight-static fast path.
+
+    Cache entries are keyed by a per-layer monotonic token rather than
+    ``id(layer)``: ``id`` values are recycled after garbage collection, so
+    a long transient-model sweep could otherwise look up a dead layer's
+    entry and lean on the ``matches(w)`` copy check as the only guard.
+    Tokens are handed out once per live layer object (tracked weakly) and
+    never reused, so a recycled ``id`` can never alias a stale entry.
+
+    ``cache_info()`` exposes hit/miss/eviction counters so pooled serving
+    deployments (:mod:`repro.serve`) can report programmed-cache hit
+    rates per core.
     """
 
     def __init__(
@@ -39,12 +52,28 @@ class PhotonicExecutor:
         config: Optional[CoreConfig] = None,
         noise: Optional[NoiseModel] = None,
         rng: Optional[np.random.Generator] = None,
+        max_cached_layers: int = 256,
     ):
         self.core = PhotonicRnsTensorCore(config, noise, rng)
         self._programmed: Dict[int, object] = {}
-        self._max_cached_layers = 256
+        self._max_cached_layers = max_cached_layers
+        self._layer_tokens: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._token_counter = itertools.count()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     # ------------------------------------------------------------------
+    def _layer_token(self, layer: Module) -> int:
+        """Monotonic cache token for ``layer`` (allocated once, never reused)."""
+        token = self._layer_tokens.get(layer)
+        if token is None:
+            token = next(self._token_counter)
+            self._layer_tokens[layer] = token
+        return token
+
     def _program_cached(self, key: int, w: np.ndarray):
         """Programmed weights for ``w``, reusing the cache when unchanged.
 
@@ -54,15 +83,49 @@ class PhotonicExecutor:
         """
         entry = self._programmed.pop(key, None)
         if entry is None or not entry.matches(w):
+            self._misses += 1
             entry = self.core.program(w)
+        else:
+            self._hits += 1
         self._programmed[key] = entry  # (re)insert as most recent
         while len(self._programmed) > self._max_cached_layers:
             self._programmed.pop(next(iter(self._programmed)))
+            self._evictions += 1
         return entry
+
+    def cache_info(self) -> Dict[str, int]:
+        """Programmed-weight cache counters (for pool telemetry)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._programmed),
+            "max_size": self._max_cached_layers,
+        }
+
+    def prewarm(self, model: Sequential) -> int:
+        """Program every GEMM layer of ``model`` ahead of traffic.
+
+        Returns the number of layers programmed.  Serving pools call this
+        when placing a model replica on a core so the first request does
+        not pay the programming latency.
+        """
+        count = 0
+        for layer in model:
+            if isinstance(layer, Linear):
+                self._program_cached(
+                    self._layer_token(layer), layer.weight.data
+                )
+                count += 1
+            elif isinstance(layer, Conv2d) and layer.groups == 1:
+                w_flat = layer.weight.data.reshape(layer.out_channels, -1)
+                self._program_cached(self._layer_token(layer), w_flat)
+                count += 1
+        return count
 
     def linear(self, layer: Linear, x: np.ndarray) -> np.ndarray:
         """Run a Linear layer: ``x @ W^T + b`` via the core."""
-        pw = self._program_cached(id(layer), layer.weight.data)
+        pw = self._program_cached(self._layer_token(layer), layer.weight.data)
         out = self.core.matmul_programmed(pw, np.asarray(x).T).T
         if layer.bias is not None:
             out = out + layer.bias.data
@@ -82,7 +145,7 @@ class PhotonicExecutor:
         ow = conv_output_size(w_dim, k, s, p)
         cols = im2col(np.asarray(x, dtype=np.float64), k, s, p)  # (N, CKK, L)
         w_flat = layer.weight.data.reshape(layer.out_channels, -1)
-        pw = self._program_cached(id(layer), w_flat)
+        pw = self._program_cached(self._layer_token(layer), w_flat)
         ckk = cols.shape[1]
         stacked = cols.transpose(1, 0, 2).reshape(ckk, -1)  # (CKK, N*L)
         out = self.core.matmul_programmed(pw, stacked)  # (C_out, N*L)

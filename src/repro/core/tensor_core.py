@@ -238,6 +238,11 @@ class PhotonicRnsTensorCore:
         All inputs are concatenated column-wise and pushed through the
         engine as one pass — a multi-image conv batch or a multi-request
         inference batch costs one programming and one batched execution.
+
+        Degenerate members are legal: an empty activation batch
+        (``x.shape[1] == 0``) yields a correctly shaped ``(R, 0)`` output,
+        and a zero-row weight matrix yields ``(0, C)`` outputs, without
+        ever reaching the tile packer.
         """
         w = np.asarray(w, dtype=np.float64)
         xs = [np.asarray(x, dtype=np.float64) for x in xs]
@@ -246,6 +251,9 @@ class PhotonicRnsTensorCore:
                 raise ValueError(f"bad GEMM shapes {w.shape} @ {x.shape}")
         if not xs:
             return []
+        r = w.shape[0]
+        if r == 0 or all(x.shape[1] == 0 for x in xs):
+            return [np.zeros((r, x.shape[1])) for x in xs]
         pw = self.program(w)
         out = self._execute(pw, np.concatenate(xs, axis=1))
         split = np.cumsum([x.shape[1] for x in xs])[:-1]
@@ -262,6 +270,12 @@ class PhotonicRnsTensorCore:
         cfg = self.config
         r, _ = pw.shape
         c = x.shape[1]
+        # Degenerate GEMMs (no output rows, no streamed columns, or an
+        # empty reduction axis) have an exact answer — all zeros — and
+        # must not reach the tile packer / device model, whose stages
+        # assume non-empty operands.
+        if r == 0 or c == 0 or pw.num_groups == 0:
+            return np.zeros((r, c))
         num_groups, row_tiles = pw.num_groups, pw.row_tiles
 
         # Steps 2-3: encode and forward-convert the whole input batch once.

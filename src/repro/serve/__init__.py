@@ -1,0 +1,56 @@
+"""Photonic inference serving runtime.
+
+Production-shaped serving on top of the paper's accelerator model:
+bounded admission, dynamic micro-batching into weight-programmed batched
+GEMM streams, executor pools sharding models (and replicas of hot
+models) across photonic cores, synthetic traffic scenarios on a
+deterministic simulated clock, and telemetry cross-checked against the
+analytic ``repro.arch`` latency model.
+"""
+
+from .batcher import BatchPolicy, MicroBatcher
+from .clock import SimulatedClock
+from .pool import ExecutorPool, PoolWorker, ROUTING_POLICIES
+from .request import AdmissionQueue, InferenceRequest, RequestStatus
+from .runtime import (
+    ModelProfile,
+    ServiceModel,
+    ServingRuntime,
+    infer_input_dim,
+    model_layer_shapes,
+)
+from .telemetry import Telemetry, percentile, summarize_latencies
+from .traffic import (
+    SCENARIO_NAMES,
+    Scenario,
+    bursty_scenario,
+    diurnal_scenario,
+    multi_tenant_scenario,
+    poisson_scenario,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "BatchPolicy",
+    "ExecutorPool",
+    "InferenceRequest",
+    "MicroBatcher",
+    "ModelProfile",
+    "PoolWorker",
+    "RequestStatus",
+    "ROUTING_POLICIES",
+    "SCENARIO_NAMES",
+    "Scenario",
+    "ServiceModel",
+    "ServingRuntime",
+    "SimulatedClock",
+    "Telemetry",
+    "bursty_scenario",
+    "diurnal_scenario",
+    "infer_input_dim",
+    "model_layer_shapes",
+    "multi_tenant_scenario",
+    "percentile",
+    "poisson_scenario",
+    "summarize_latencies",
+]

@@ -1,0 +1,90 @@
+"""Dynamic micro-batching scheduler.
+
+The scheduler coalesces compatible requests (same model) into
+micro-batches dispatched through the weight-programmed executor as one
+batched GEMM stream.  A batch launches when either
+
+* ``max_batch_size`` requests for one model are waiting (size trigger), or
+* the oldest waiting request of a model has waited ``max_wait_s``
+  (deadline trigger — bounds the latency cost of waiting for company),
+
+and a worker holding a replica of that model is free.  ``max_wait_s = 0``
+with ``max_batch_size = 1`` degenerates to classic batch-1 serving, which
+the benchmarks use as the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .request import AdmissionQueue, InferenceRequest
+
+__all__ = ["BatchPolicy", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Micro-batching knobs."""
+
+    max_batch_size: int = 32
+    max_wait_s: float = 2e-6
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+
+
+class MicroBatcher:
+    """Decides which model's waiting requests form the next micro-batch."""
+
+    def __init__(self, policy: Optional[BatchPolicy] = None):
+        self.policy = policy or BatchPolicy()
+
+    # ------------------------------------------------------------------
+    def deadline(self, queue: AdmissionQueue, model: str) -> Optional[float]:
+        """Absolute time the oldest request of ``model`` must launch by."""
+        oldest = queue.oldest_arrival(model)
+        if oldest is None:
+            return None
+        return oldest + self.policy.max_wait_s
+
+    def next_deadline(self, queue: AdmissionQueue) -> Optional[float]:
+        """Earliest launch deadline across all waiting models."""
+        deadlines = [
+            self.deadline(queue, m) for m in queue.models_waiting()
+        ]
+        return min(deadlines) if deadlines else None
+
+    def ready_model(
+        self, queue: AdmissionQueue, now: float, excluded=()
+    ) -> Optional[str]:
+        """A model whose waiting requests should launch *now*, or None.
+
+        A model is ready when its pending count fills a batch or its
+        oldest request's deadline has expired; among ready models the
+        earliest deadline wins, i.e. the model whose head request has
+        waited longest.  ``excluded`` models are skipped (the runtime
+        excludes models whose replicas are all busy).
+        """
+        best: Optional[Tuple[float, str]] = None
+        for model in queue.models_waiting():
+            if model in excluded:
+                continue
+            pending = queue.pending(model)
+            dl = self.deadline(queue, model)
+            if pending >= self.policy.max_batch_size or dl <= now + 1e-15:
+                key = (dl, model)
+                if best is None or key < best:
+                    best = key
+        return best[1] if best else None
+
+    def take_batch(
+        self, queue: AdmissionQueue, model: str
+    ) -> List[InferenceRequest]:
+        """Pop the micro-batch for ``model`` (oldest first, FIFO)."""
+        return queue.pop_batch(model, self.policy.max_batch_size)

@@ -1,0 +1,37 @@
+"""Deterministic simulated clock for the serving runtime.
+
+All serving-time quantities (arrivals, batching deadlines, service
+latencies from the analytic hardware model) advance a single
+:class:`SimulatedClock` — wall-clock time never enters the simulation, so
+every scenario is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulatedClock"]
+
+
+class SimulatedClock:
+    """A monotonically advancing simulated time source (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to ``t``; rejects travel into the past."""
+        if t < self._now - 1e-15:
+            raise ValueError(
+                f"clock cannot move backwards: {t} < {self._now}"
+            )
+        self._now = max(self._now, float(t))
+        return self._now
+
+    def advance_by(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError(f"negative time step {dt}")
+        self._now += float(dt)
+        return self._now

@@ -1,0 +1,205 @@
+"""Executor pool: models sharded across multiple photonic cores.
+
+Each :class:`PoolWorker` owns one :class:`~repro.core.PhotonicExecutor`
+(and therefore one :class:`~repro.core.PhotonicRnsTensorCore` with its own
+programmed-weight cache).  Models are *placed* on a subset of workers —
+replicas of hot models spread load, cold models share cores — and
+per-request routing among a model's free replicas is pluggable:
+
+* ``round_robin`` — cycle through the model's free replicas;
+* ``least_loaded`` — free replica with the least accumulated busy time;
+* ``cache_affinity`` — prefer free replicas whose core has already
+  programmed this model's weight tiles (maximises programmed-cache hits,
+  falling back to least-loaded among cold replicas).
+
+The pool executes micro-batches *functionally* (real batched GEMMs
+through the photonic core model) while the runtime advances simulated
+time with the analytic hardware latency — so outputs are real and cache
+hit rates are measured, not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..core.pipeline import PhotonicExecutor
+from ..nn.layers import Sequential
+from .request import InferenceRequest
+
+__all__ = ["PoolWorker", "ExecutorPool", "ROUTING_POLICIES"]
+
+ROUTING_POLICIES = ("round_robin", "least_loaded", "cache_affinity")
+
+
+class PoolWorker:
+    """One photonic core + executor with availability and load tracking."""
+
+    def __init__(self, worker_id: int, executor: PhotonicExecutor):
+        self.worker_id = worker_id
+        self.executor = executor
+        self.busy_until = 0.0
+        self.busy_time = 0.0
+        self.batches_served = 0
+        self.requests_served = 0
+        self.models_programmed: Set[str] = set()
+
+    def is_free(self, now: float) -> bool:
+        return self.busy_until <= now + 1e-15
+
+    def run_booking(
+        self, model_name: str, batch: int, now: float, service_s: float
+    ) -> None:
+        """Book the busy window only (timing-only runs, no functional exec)."""
+        self.busy_until = now + service_s
+        self.busy_time += service_s
+        self.batches_served += 1
+        self.requests_served += batch
+        self.models_programmed.add(model_name)
+
+    def run_batch(
+        self,
+        model_name: str,
+        model: Sequential,
+        xs: Sequence[np.ndarray],
+        now: float,
+        service_s: float,
+    ) -> np.ndarray:
+        """Execute one micro-batch functionally and book the busy window."""
+        stacked = np.stack([np.asarray(x, dtype=np.float64) for x in xs])
+        out = self.executor.run_sequential(model, stacked)
+        self.run_booking(model_name, len(xs), now, service_s)
+        return out
+
+
+class ExecutorPool:
+    """A fixed set of workers plus model placement and routing."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        policy: str = "least_loaded",
+        executor_factory=None,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; pick from {ROUTING_POLICIES}"
+            )
+        factory = executor_factory or (lambda: PhotonicExecutor())
+        self.workers = [PoolWorker(i, factory()) for i in range(num_workers)]
+        self.policy = policy
+        self._models: Dict[str, Sequential] = {}
+        self._replicas: Dict[str, List[int]] = {}
+        self._rr_state: Dict[str, int] = {}
+        self._place_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        name: str,
+        model: Sequential,
+        replicas: int = 1,
+        prewarm: bool = False,
+    ) -> List[int]:
+        """Assign ``replicas`` workers to ``name`` (round-robin sharding).
+
+        ``prewarm=True`` programs the model's weight tiles on every
+        replica immediately, so the first live batch hits the cache.
+        """
+        replicas = min(max(1, replicas), len(self.workers))
+        assigned = []
+        for _ in range(replicas):
+            assigned.append(self._place_cursor % len(self.workers))
+            self._place_cursor += 1
+        self._models[name] = model
+        self._replicas[name] = assigned
+        self._rr_state[name] = 0
+        if prewarm:
+            for wid in assigned:
+                self.workers[wid].executor.prewarm(model)
+                self.workers[wid].models_programmed.add(name)
+        return assigned
+
+    def model(self, name: str) -> Sequential:
+        return self._models[name]
+
+    def replicas(self, name: str) -> List[int]:
+        return list(self._replicas[name])
+
+    def model_names(self) -> List[str]:
+        return list(self._models)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, name: str, now: float) -> Optional[PoolWorker]:
+        """Pick a free replica worker for ``name`` under the pool policy.
+
+        Returns None when every replica is busy (the runtime then waits
+        for the next worker-done event).
+        """
+        if name not in self._replicas:
+            raise KeyError(f"model {name!r} is not placed on this pool")
+        free = [
+            self.workers[w] for w in self._replicas[name]
+            if self.workers[w].is_free(now)
+        ]
+        if not free:
+            return None
+        if self.policy == "round_robin":
+            order = self._replicas[name]
+            start = self._rr_state[name]
+            for i in range(len(order)):
+                wid = order[(start + i) % len(order)]
+                if self.workers[wid].is_free(now):
+                    self._rr_state[name] = (start + i + 1) % len(order)
+                    return self.workers[wid]
+            return None
+        if self.policy == "cache_affinity":
+            warm = [w for w in free if name in w.models_programmed]
+            pick_from = warm or free
+        else:  # least_loaded
+            pick_from = free
+        return min(pick_from, key=lambda w: (w.busy_time, w.worker_id))
+
+    def next_free_time(self, name: str) -> float:
+        """Earliest time any replica of ``name`` becomes free."""
+        return min(
+            self.workers[w].busy_until for w in self._replicas[name]
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, float]:
+        """Aggregated programmed-weight cache counters across workers."""
+        hits = misses = evictions = 0
+        for w in self.workers:
+            info = w.executor.cache_info()
+            hits += info["hits"]
+            misses += info["misses"]
+            evictions += info["evictions"]
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+    def worker_stats(self) -> List[Dict[str, float]]:
+        return [
+            {
+                "worker_id": w.worker_id,
+                "batches": w.batches_served,
+                "requests": w.requests_served,
+                "busy_time_s": w.busy_time,
+            }
+            for w in self.workers
+        ]

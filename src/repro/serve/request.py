@@ -1,0 +1,128 @@
+"""Request/response abstraction and the bounded admission queue.
+
+A serving deployment accepts :class:`InferenceRequest`\\ s — one input row
+for one named model — through an :class:`AdmissionQueue` with a hard
+capacity bound.  Requests past the bound are rejected immediately
+(load-shedding at admission, not after queueing delay), which keeps tail
+latency of admitted traffic bounded under overload.
+
+The queue is organised per model so the micro-batching scheduler
+(:mod:`repro.serve.batcher`) can coalesce compatible requests: only
+requests for the same model can share a batched GEMM stream through the
+weight-programmed executor.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "RequestStatus",
+    "InferenceRequest",
+    "AdmissionQueue",
+]
+
+
+class RequestStatus:
+    """Lifecycle states of a request (plain strings, cheap to log)."""
+
+    QUEUED = "queued"
+    REJECTED = "rejected"
+    DISPATCHED = "dispatched"
+    COMPLETED = "completed"
+
+
+@dataclass
+class InferenceRequest:
+    """One inference call: an input row destined for a named model.
+
+    Timing fields are simulated-clock seconds, filled in as the request
+    moves through the runtime; ``output`` receives the model's output row
+    when the batch it rode in completes.
+    """
+
+    request_id: int
+    model: str
+    x: np.ndarray  # (input_dim,) one input row
+    arrival_time: float
+    status: str = RequestStatus.QUEUED
+    dispatch_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    batch_size: Optional[int] = None
+    worker_id: Optional[int] = None
+    output: Optional[np.ndarray] = None
+
+    @property
+    def queue_latency(self) -> Optional[float]:
+        if self.dispatch_time is None:
+            return None
+        return self.dispatch_time - self.arrival_time
+
+    @property
+    def total_latency(self) -> Optional[float]:
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+
+class AdmissionQueue:
+    """Bounded FIFO admission queue, sharded per model.
+
+    ``capacity`` bounds the *total* number of waiting requests across all
+    models.  ``offer`` returns False (and marks the request rejected)
+    when the bound is hit.  Per-model FIFO order is preserved so batches
+    always contain the oldest waiting requests of their model.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._queues: "OrderedDict[str, Deque[InferenceRequest]]" = OrderedDict()
+        self._depth = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def pending(self, model: str) -> int:
+        q = self._queues.get(model)
+        return len(q) if q else 0
+
+    def models_waiting(self) -> List[str]:
+        """Models with at least one waiting request, oldest-queue first."""
+        return [m for m, q in self._queues.items() if q]
+
+    def oldest_arrival(self, model: str) -> Optional[float]:
+        q = self._queues.get(model)
+        return q[0].arrival_time if q else None
+
+    # ------------------------------------------------------------------
+    def offer(self, request: InferenceRequest) -> bool:
+        """Admit ``request`` or reject it when the queue is full."""
+        if self._depth >= self.capacity:
+            request.status = RequestStatus.REJECTED
+            self.rejected += 1
+            return False
+        self._queues.setdefault(request.model, deque()).append(request)
+        self._depth += 1
+        self.admitted += 1
+        request.status = RequestStatus.QUEUED
+        return True
+
+    def pop_batch(self, model: str, max_n: int) -> List[InferenceRequest]:
+        """Pop up to ``max_n`` oldest waiting requests of ``model``."""
+        q = self._queues.get(model)
+        if not q:
+            return []
+        n = min(max_n, len(q))
+        batch = [q.popleft() for _ in range(n)]
+        self._depth -= n
+        return batch

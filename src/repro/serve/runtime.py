@@ -1,0 +1,373 @@
+"""The serving runtime: admission → micro-batching → executor pool.
+
+:class:`ServingRuntime` is a discrete-event simulator over the
+:class:`~repro.serve.clock.SimulatedClock`: scenario arrivals enter the
+bounded :class:`~repro.serve.request.AdmissionQueue`, the
+:class:`~repro.serve.batcher.MicroBatcher` coalesces them into per-model
+micro-batches, and the :class:`~repro.serve.pool.ExecutorPool` dispatches
+each batch through a weight-programmed photonic executor as one batched
+GEMM stream.
+
+Two notions of time coexist deliberately:
+
+* **functional execution** — each micro-batch really runs through the
+  photonic core model (outputs are exact, programmed-cache hits are
+  measured);
+* **simulated hardware time** — the batch's service latency comes from
+  the analytic :mod:`repro.arch` model
+  (:func:`repro.arch.inference.per_request_latency` over the model's
+  forward GEMMs at the dispatched batch size), which is what advances
+  the clock and what every latency percentile is measured in.
+
+So the telemetry answers "what SLO would this traffic see on the
+hardware", while the outputs prove the batched dataflow is the same
+computation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch.accelerator import MirageAccelerator
+from ..arch.inference import per_request_latency
+from ..arch.workloads import GemmShape, LayerShape
+from ..nn.conv import Conv2d, conv_output_size
+from ..nn.layers import Linear, Sequential
+from .batcher import BatchPolicy, MicroBatcher
+from .clock import SimulatedClock
+from .pool import ExecutorPool
+from .request import AdmissionQueue, InferenceRequest, RequestStatus
+from .telemetry import Telemetry, summarize_latencies
+
+__all__ = [
+    "ModelProfile",
+    "ServiceModel",
+    "ServingRuntime",
+    "model_layer_shapes",
+    "infer_input_dim",
+]
+
+
+# ----------------------------------------------------------------------
+# Model → GEMM-shape extraction (feeds the analytic latency model)
+# ----------------------------------------------------------------------
+def model_layer_shapes(
+    name: str,
+    model: Sequential,
+    batch: int,
+    input_hw: Optional[Tuple[int, int]] = None,
+) -> List[LayerShape]:
+    """Forward GEMM shapes of a Sequential model at a given batch size.
+
+    Linear layers map to ``(out, in) @ (in, batch)``; Conv2d layers use
+    the im2col convention and need ``input_hw`` to track spatial sizes.
+    """
+    shapes: List[LayerShape] = []
+    hw = input_hw
+    for i, layer in enumerate(model):
+        if isinstance(layer, Linear):
+            shapes.append(
+                LayerShape(
+                    f"{name}.{i}",
+                    GemmShape(layer.out_features, layer.in_features, batch),
+                    "linear",
+                )
+            )
+        elif isinstance(layer, Conv2d):
+            if hw is None:
+                raise ValueError(
+                    f"model {name!r} has Conv2d layers; pass input_hw"
+                )
+            k, s, p = layer.kernel_size, layer.stride, layer.padding
+            oh = conv_output_size(hw[0], k, s, p)
+            ow = conv_output_size(hw[1], k, s, p)
+            shapes.append(
+                LayerShape(
+                    f"{name}.{i}",
+                    GemmShape(
+                        layer.out_channels,
+                        layer.in_channels * k * k // layer.groups,
+                        batch * oh * ow,
+                    ),
+                    "conv",
+                )
+            )
+            hw = (oh, ow)
+    if not shapes:
+        raise ValueError(f"model {name!r} has no GEMM layers to serve")
+    return shapes
+
+
+def infer_input_dim(model: Sequential) -> int:
+    """Input feature width of the first Linear layer."""
+    for layer in model:
+        if isinstance(layer, Linear):
+            return layer.in_features
+    raise ValueError("model has no Linear layer to infer an input dim from")
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """A served model: the network plus its serving parameters."""
+
+    name: str
+    model: Sequential
+    replicas: int = 1
+    slo_s: Optional[float] = None
+    input_hw: Optional[Tuple[int, int]] = None
+
+    def input_dim(self) -> int:
+        return infer_input_dim(self.model)
+
+
+class ServiceModel:
+    """Analytic batch-service latencies, memoised per (model, batch)."""
+
+    def __init__(self, accelerator: Optional[MirageAccelerator] = None):
+        self.accelerator = accelerator or MirageAccelerator()
+        self._profiles: Dict[str, ModelProfile] = {}
+        self._cache: Dict[Tuple[str, int], float] = {}
+
+    def register(self, profile: ModelProfile) -> None:
+        self._profiles[profile.name] = profile
+
+    def batch_latency(self, model: str, batch: int) -> float:
+        key = (model, batch)
+        if key not in self._cache:
+            profile = self._profiles[model]
+            shapes = model_layer_shapes(
+                model, profile.model, batch, profile.input_hw
+            )
+            self._cache[key] = per_request_latency(
+                shapes, batch, self.accelerator
+            )["batch_latency_s"]
+        return self._cache[key]
+
+
+# ----------------------------------------------------------------------
+# The discrete-event serving loop
+# ----------------------------------------------------------------------
+_ARRIVAL, _WORKER_FREE, _DEADLINE = 0, 1, 2
+
+
+class ServingRuntime:
+    """One serving deployment: models, pool, batcher, queue, telemetry.
+
+    Use one runtime instance per scenario run — worker availability and
+    cache state deliberately persist across requests within a run.
+    """
+
+    def __init__(
+        self,
+        pool: ExecutorPool,
+        policy: Optional[BatchPolicy] = None,
+        queue_capacity: int = 256,
+        accelerator: Optional[MirageAccelerator] = None,
+        execute: bool = True,
+    ):
+        self.pool = pool
+        self.batcher = MicroBatcher(policy)
+        self.queue = AdmissionQueue(queue_capacity)
+        self.service = ServiceModel(accelerator)
+        self.clock = SimulatedClock()
+        self.telemetry = Telemetry()
+        self.execute = execute
+        self._profiles: Dict[str, ModelProfile] = {}
+        self._req_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    def register_model(
+        self, profile: ModelProfile, prewarm: bool = True
+    ) -> List[int]:
+        """Place a model on the pool and register its latency profile.
+
+        Validates the profile eagerly (GEMM layers present, ``input_hw``
+        given for conv models) so a bad profile fails here, not at the
+        first arrival mid-scenario.
+        """
+        model_layer_shapes(profile.name, profile.model, 1, profile.input_hw)
+        self._profiles[profile.name] = profile
+        self.service.register(profile)
+        return self.pool.place(
+            profile.name, profile.model, profile.replicas, prewarm=prewarm
+        )
+
+    def profiles(self) -> Dict[str, ModelProfile]:
+        return dict(self._profiles)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        scenario,
+        seed: int = 0,
+        input_fn: Optional[Callable[[str, np.random.Generator], np.ndarray]] = None,
+    ) -> Telemetry:
+        """Drive a full scenario through the deployment; returns telemetry.
+
+        ``input_fn(model_name, rng)`` supplies request inputs (default:
+        standard-normal rows of the model's input width).
+        """
+        rng = np.random.default_rng(seed)
+        heap: List[Tuple[float, int, int, object]] = []
+        seq = itertools.count()
+
+        def push(t: float, kind: int, payload: object) -> None:
+            heapq.heappush(heap, (t, kind, next(seq), payload))
+
+        for t, model in scenario.arrivals:
+            if model not in self._profiles:
+                raise KeyError(
+                    f"scenario names model {model!r} but it is not registered"
+                )
+            push(t, _ARRIVAL, model)
+
+        while heap:
+            t, kind, _, payload = heapq.heappop(heap)
+            now = self.clock.advance_to(t)
+            if kind == _ARRIVAL:
+                self._admit(str(payload), now, rng, input_fn)
+            elif kind == _WORKER_FREE:
+                self._complete(payload)
+            # _DEADLINE events exist only to trigger a drain.
+            self._drain(now, push)
+            self.telemetry.sample_queue_depth(now, self.queue.depth)
+
+        if self.queue.depth:
+            raise RuntimeError(
+                f"event loop ended with {self.queue.depth} requests stranded"
+            )
+        return self.telemetry
+
+    # ------------------------------------------------------------------
+    def _default_input(
+        self, profile: ModelProfile, rng: np.random.Generator
+    ) -> np.ndarray:
+        """A random input matching the model's first GEMM layer.
+
+        Linear-first models get a ``(in_features,)`` row; conv-first
+        models get a ``(C_in, H, W)`` image (stacking a batch of either
+        yields exactly what ``run_sequential`` expects).
+        """
+        for layer in profile.model:
+            if isinstance(layer, Linear):
+                return rng.standard_normal(layer.in_features)
+            if isinstance(layer, Conv2d):
+                if profile.input_hw is None:
+                    raise ValueError(
+                        f"model {profile.name!r} is conv-first; its profile "
+                        "needs input_hw to synthesize default inputs"
+                    )
+                return rng.standard_normal(
+                    (layer.in_channels, *profile.input_hw)
+                )
+        raise ValueError(f"model {profile.name!r} has no GEMM layers")
+
+    def _admit(
+        self,
+        model: str,
+        now: float,
+        rng: np.random.Generator,
+        input_fn: Optional[Callable[[str, np.random.Generator], np.ndarray]],
+    ) -> None:
+        if input_fn is not None:
+            x = np.asarray(input_fn(model, rng), dtype=np.float64)
+        else:
+            x = self._default_input(self._profiles[model], rng)
+        request = InferenceRequest(next(self._req_ids), model, x, now)
+        if not self.queue.offer(request):
+            self.telemetry.record_rejection(request)
+
+    def _drain(self, now: float, push) -> None:
+        """Dispatch every batch that is ready and has a free worker."""
+        while True:
+            dispatched = False
+            # Snapshot: ready_model recomputes triggers after each pop;
+            # models whose replicas are all busy get excluded and retried
+            # when a worker-free event fires.
+            tried = set()
+            model = self.batcher.ready_model(self.queue, now, tried)
+            while model is not None:
+                worker = self.pool.route(model, now)
+                if worker is not None:
+                    self._dispatch(model, worker, now, push)
+                    dispatched = True
+                    break
+                tried.add(model)
+                model = self.batcher.ready_model(self.queue, now, tried)
+            if not dispatched:
+                break
+        # Arm a timer for the earliest future batching deadline.
+        dl = self.batcher.next_deadline(self.queue)
+        if dl is not None and dl > now:
+            push(dl, _DEADLINE, None)
+
+    def _dispatch(self, model: str, worker, now: float, push) -> None:
+        batch = self.batcher.take_batch(self.queue, model)
+        service_s = self.service.batch_latency(model, len(batch))
+        profile = self._profiles[model]
+        if self.execute:
+            outputs = worker.run_batch(
+                model, profile.model, [r.x for r in batch], now, service_s
+            )
+        else:
+            outputs = None
+            worker.run_booking(model, len(batch), now, service_s)
+        done = now + service_s
+        for i, request in enumerate(batch):
+            request.status = RequestStatus.DISPATCHED
+            request.dispatch_time = now
+            request.completion_time = done
+            request.batch_size = len(batch)
+            request.worker_id = worker.worker_id
+            if outputs is not None:
+                request.output = outputs[i]
+        self.telemetry.record_batch(
+            model, batch, worker.worker_id, now, service_s
+        )
+        push(done, _WORKER_FREE, batch)
+
+    def _complete(self, batch: Sequence[InferenceRequest]) -> None:
+        for request in batch:
+            request.status = RequestStatus.COMPLETED
+            self.telemetry.record_completion(request)
+
+    # ------------------------------------------------------------------
+    def report(self, scenario, slo_s: Optional[float] = None) -> Dict[str, object]:
+        """Full serving report for a completed run.
+
+        Includes the aggregate summary, per-model latency percentiles,
+        pool/cache stats, and the analytic-model consistency cross-check
+        (recorded busy intervals vs ``arch.inference`` recomputation).
+        """
+        horizon = max(scenario.duration_s, self.telemetry.makespan())
+        if slo_s is None:
+            slos = [
+                p.slo_s for p in self._profiles.values() if p.slo_s is not None
+            ]
+            slo_s = min(slos) if slos else None
+        out = self.telemetry.summary(
+            horizon, slo_s=slo_s, cache_stats=self.pool.cache_stats()
+        )
+        out["offered_rate_rps"] = scenario.offered_rate
+        out["offered_requests"] = scenario.num_requests
+        out["per_model"] = {
+            name: summarize_latencies(self.telemetry.latencies(name))
+            for name in self._profiles
+        }
+        out["workers"] = self.pool.worker_stats()
+        # Cross-check with a *fresh* ServiceModel (empty memo cache) so the
+        # recorded busy intervals are re-derived from arch.inference from
+        # scratch — drift or memo corruption in the runtime's own service
+        # model shows up here instead of being read back as-is.
+        fresh = ServiceModel(self.service.accelerator)
+        for profile in self._profiles.values():
+            fresh.register(profile)
+        out["analytic_consistency"] = self.telemetry.cross_check_service_model(
+            fresh.batch_latency
+        )
+        return out

@@ -1,0 +1,186 @@
+"""Serving telemetry: latency percentiles, throughput, batching stats.
+
+Collects per-request records and runtime samples during a scenario and
+reduces them to the numbers an SRE would page on: p50/p95/p99 latency,
+sustained throughput, batch-size histogram, queue depth over time,
+admission rejections, and programmed-cache hit rate.
+
+Because service times come from the analytic hardware model
+(:mod:`repro.arch.latency` via :func:`repro.arch.inference.per_request_latency`),
+the report can *cross-check* itself: recomputing each dispatched batch's
+service latency from its (model, batch-size) pair must reproduce the
+recorded busy intervals exactly.  ``slo_attainment`` then reads as
+"fraction of admitted requests that met their latency target on the
+simulated hardware".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .request import InferenceRequest, RequestStatus
+
+__all__ = ["Telemetry", "percentile", "summarize_latencies"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile à la np.percentile (q in [0, 100]);
+    0.0 for empty input."""
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def summarize_latencies(latencies: Sequence[float]) -> Dict[str, float]:
+    return {
+        "p50_s": percentile(latencies, 50),
+        "p95_s": percentile(latencies, 95),
+        "p99_s": percentile(latencies, 99),
+        "mean_s": float(np.mean(latencies)) if len(latencies) else 0.0,
+        "max_s": float(np.max(latencies)) if len(latencies) else 0.0,
+    }
+
+
+@dataclass
+class _BatchRecord:
+    model: str
+    batch_size: int
+    worker_id: int
+    dispatch_time: float
+    service_s: float
+
+
+class Telemetry:
+    """Accumulates serving events; reduces to a summary dict."""
+
+    def __init__(self):
+        self.completed: List[InferenceRequest] = []
+        self.rejected: int = 0
+        self.batches: List[_BatchRecord] = []
+        self._depth_samples: List[Tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_rejection(self, request: InferenceRequest) -> None:
+        self.rejected += 1
+
+    def record_batch(
+        self,
+        model: str,
+        requests: Sequence[InferenceRequest],
+        worker_id: int,
+        dispatch_time: float,
+        service_s: float,
+    ) -> None:
+        self.batches.append(
+            _BatchRecord(model, len(requests), worker_id, dispatch_time, service_s)
+        )
+
+    def record_completion(self, request: InferenceRequest) -> None:
+        self.completed.append(request)
+
+    def sample_queue_depth(self, now: float, depth: int) -> None:
+        self._depth_samples.append((now, depth))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def latencies(self, model: Optional[str] = None) -> List[float]:
+        return [
+            r.total_latency
+            for r in self.completed
+            if r.total_latency is not None and (model is None or r.model == model)
+        ]
+
+    def batch_size_histogram(self) -> Dict[int, int]:
+        return dict(sorted(Counter(b.batch_size for b in self.batches).items()))
+
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        total = sum(b.batch_size for b in self.batches)
+        return total / len(self.batches)
+
+    def throughput(self, horizon_s: float) -> float:
+        """Completed requests per second over ``horizon_s``."""
+        if horizon_s <= 0:
+            return 0.0
+        return len(self.completed) / horizon_s
+
+    def makespan(self) -> float:
+        """Time of the last completion (simulated seconds)."""
+        if not self.completed:
+            return 0.0
+        return max(r.completion_time for r in self.completed)
+
+    def queue_depth_stats(self) -> Dict[str, float]:
+        if not self._depth_samples:
+            return {"mean": 0.0, "max": 0.0}
+        depths = np.array([d for _, d in self._depth_samples], dtype=np.float64)
+        return {"mean": float(depths.mean()), "max": float(depths.max())}
+
+    def slo_attainment(self, slo_s: float) -> float:
+        """Fraction of *admitted* requests completing within ``slo_s``.
+
+        Rejected requests count against attainment — shedding load is a
+        miss from the caller's point of view.
+        """
+        lat = self.latencies()
+        total = len(lat) + self.rejected
+        if total == 0:
+            return 1.0
+        met = sum(1 for v in lat if v <= slo_s + 1e-15)
+        return met / total
+
+    def cross_check_service_model(
+        self, service_fn: Callable[[str, int], float]
+    ) -> Dict[str, float]:
+        """Verify recorded busy intervals against the analytic model.
+
+        ``service_fn(model, batch_size)`` is the same analytic latency
+        the runtime used at dispatch; any drift between recorded and
+        recomputed service times means the telemetry and the
+        ``arch.inference``/``arch.latency`` accounting have diverged.
+        """
+        if not self.batches:
+            return {"max_abs_error_s": 0.0, "checked_batches": 0}
+        errs = [
+            abs(b.service_s - service_fn(b.model, b.batch_size))
+            for b in self.batches
+        ]
+        return {
+            "max_abs_error_s": float(max(errs)),
+            "checked_batches": len(self.batches),
+        }
+
+    # ------------------------------------------------------------------
+    def summary(
+        self,
+        horizon_s: float,
+        slo_s: Optional[float] = None,
+        cache_stats: Optional[Dict[str, float]] = None,
+    ) -> Dict[str, object]:
+        """One dict with everything the benchmarks report."""
+        lat = self.latencies()
+        out: Dict[str, object] = {
+            "completed": len(self.completed),
+            "rejected": self.rejected,
+            "throughput_rps": self.throughput(horizon_s),
+            "latency": summarize_latencies(lat),
+            "mean_batch_size": self.mean_batch_size(),
+            "batch_size_histogram": {
+                str(k): v for k, v in self.batch_size_histogram().items()
+            },
+            "queue_depth": self.queue_depth_stats(),
+        }
+        if slo_s is not None:
+            out["slo_s"] = slo_s
+            out["slo_attainment"] = self.slo_attainment(slo_s)
+        if cache_stats is not None:
+            out["programmed_cache"] = cache_stats
+        return out

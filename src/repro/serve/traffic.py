@@ -1,0 +1,188 @@
+"""Synthetic traffic scenarios for the serving runtime.
+
+Every generator is deterministic in its seed and produces a
+:class:`Scenario`: a time-sorted list of ``(arrival_time, model_name)``
+pairs on the simulated clock.  Four canonical shapes cover the load
+patterns a production deployment sees:
+
+* **Poisson** — memoryless steady-state traffic at a fixed rate;
+* **bursty (ON-OFF)** — alternating silence and Poisson bursts, the
+  worst case for batching (arrivals cluster, then starve);
+* **diurnal ramp** — a sinusoidal rate sweep between a base and a peak,
+  the day/night cycle compressed to the simulation horizon;
+* **multi-tenant mix** — Poisson arrivals split across several models by
+  a popularity weighting, exercising placement and cache affinity.
+
+Inhomogeneous rates use Lewis-Shedler thinning against the peak rate, so
+arrival statistics are exact, not binned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Scenario",
+    "poisson_arrivals",
+    "onoff_arrivals",
+    "diurnal_arrivals",
+    "assign_models",
+    "poisson_scenario",
+    "bursty_scenario",
+    "diurnal_scenario",
+    "multi_tenant_scenario",
+    "SCENARIO_NAMES",
+]
+
+SCENARIO_NAMES = ("poisson", "bursty", "diurnal", "multi_tenant")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully materialised arrival trace."""
+
+    name: str
+    arrivals: Tuple[Tuple[float, str], ...]  # (time_s, model_name), sorted
+    duration_s: float
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def offered_rate(self) -> float:
+        """Average offered load over the scenario horizon (req/s)."""
+        return self.num_requests / self.duration_s if self.duration_s else 0.0
+
+    def models(self) -> List[str]:
+        return sorted({m for _, m in self.arrivals})
+
+
+# ----------------------------------------------------------------------
+# Arrival-time processes
+# ----------------------------------------------------------------------
+def poisson_arrivals(
+    rate: float, duration: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Homogeneous Poisson arrival times in ``[0, duration)``."""
+    if rate <= 0 or duration <= 0:
+        return np.empty(0)
+    # Draw in chunks until past the horizon — vectorised, deterministic.
+    times: List[np.ndarray] = []
+    t = 0.0
+    expected = max(16, int(rate * duration * 1.2))
+    while t < duration:
+        gaps = rng.exponential(1.0 / rate, size=expected)
+        chunk = t + np.cumsum(gaps)
+        times.append(chunk)
+        t = chunk[-1]
+    all_t = np.concatenate(times)
+    return all_t[all_t < duration]
+
+
+def onoff_arrivals(
+    on_rate: float,
+    on_s: float,
+    off_s: float,
+    duration: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """ON-OFF modulated Poisson: bursts at ``on_rate``, then silence."""
+    out: List[np.ndarray] = []
+    t = 0.0
+    while t < duration:
+        burst = poisson_arrivals(on_rate, min(on_s, duration - t), rng)
+        out.append(t + burst)
+        t += on_s + off_s
+    return np.concatenate(out) if out else np.empty(0)
+
+
+def diurnal_arrivals(
+    base_rate: float,
+    peak_rate: float,
+    period: float,
+    duration: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sinusoidal-rate Poisson via Lewis-Shedler thinning.
+
+    Instantaneous rate: ``base + (peak - base) * (1 - cos(2πt/T)) / 2``
+    — starts at the base ("night"), peaks mid-period.
+    """
+    if peak_rate < base_rate:
+        raise ValueError("peak_rate must be >= base_rate")
+    candidates = poisson_arrivals(peak_rate, duration, rng)
+    if candidates.size == 0:
+        return candidates
+    lam = base_rate + (peak_rate - base_rate) * (
+        1.0 - np.cos(2.0 * np.pi * candidates / period)
+    ) / 2.0
+    keep = rng.random(candidates.size) < lam / peak_rate
+    return candidates[keep]
+
+
+def assign_models(
+    times: np.ndarray,
+    mix: Dict[str, float],
+    rng: np.random.Generator,
+) -> Tuple[Tuple[float, str], ...]:
+    """Tag each arrival with a model drawn from the popularity ``mix``."""
+    names = sorted(mix)
+    weights = np.array([mix[n] for n in names], dtype=np.float64)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError(f"bad model mix {mix}")
+    weights = weights / weights.sum()
+    picks = rng.choice(len(names), size=times.size, p=weights)
+    order = np.argsort(times, kind="stable")
+    return tuple((float(times[i]), names[picks[i]]) for i in order)
+
+
+# ----------------------------------------------------------------------
+# Canonical scenario builders
+# ----------------------------------------------------------------------
+def poisson_scenario(
+    model: str, rate: float, duration: float, seed: int = 0
+) -> Scenario:
+    rng = np.random.default_rng(seed)
+    times = poisson_arrivals(rate, duration, rng)
+    return Scenario("poisson", assign_models(times, {model: 1.0}, rng), duration)
+
+
+def bursty_scenario(
+    model: str,
+    on_rate: float,
+    on_s: float,
+    off_s: float,
+    duration: float,
+    seed: int = 0,
+) -> Scenario:
+    rng = np.random.default_rng(seed)
+    times = onoff_arrivals(on_rate, on_s, off_s, duration, rng)
+    return Scenario("bursty", assign_models(times, {model: 1.0}, rng), duration)
+
+
+def diurnal_scenario(
+    model: str,
+    base_rate: float,
+    peak_rate: float,
+    duration: float,
+    seed: int = 0,
+    period: Optional[float] = None,
+) -> Scenario:
+    rng = np.random.default_rng(seed)
+    times = diurnal_arrivals(
+        base_rate, peak_rate, period or duration, duration, rng
+    )
+    return Scenario("diurnal", assign_models(times, {model: 1.0}, rng), duration)
+
+
+def multi_tenant_scenario(
+    mix: Dict[str, float], rate: float, duration: float, seed: int = 0
+) -> Scenario:
+    rng = np.random.default_rng(seed)
+    times = poisson_arrivals(rate, duration, rng)
+    return Scenario("multi_tenant", assign_models(times, mix, rng), duration)

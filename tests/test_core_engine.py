@@ -95,6 +95,61 @@ class TestMatmulMany:
             )
 
 
+class TestDegenerateShapes:
+    """Empty batches and zero-row GEMMs must return shaped empties/zeros."""
+
+    @pytest.mark.parametrize("noisy", [False, True])
+    def test_empty_activation_batch(self, rng, noisy):
+        noise = NoiseModel() if noisy else None
+        core = PhotonicRnsTensorCore(noise=noise, rng=rng)
+        out = core.matmul(rng.normal(size=(8, 16)), np.zeros((16, 0)))
+        assert out.shape == (8, 0)
+
+    @pytest.mark.parametrize("noisy", [False, True])
+    def test_zero_row_weights(self, rng, noisy):
+        noise = NoiseModel() if noisy else None
+        core = PhotonicRnsTensorCore(noise=noise, rng=rng)
+        out = core.matmul(np.zeros((0, 16)), rng.normal(size=(16, 4)))
+        assert out.shape == (0, 4)
+
+    def test_zero_reduction_axis_is_exact_zeros(self, rng):
+        core = PhotonicRnsTensorCore()
+        out = core.matmul(np.zeros((4, 0)), np.zeros((0, 3)))
+        assert out.shape == (4, 3)
+        assert np.array_equal(out, np.zeros((4, 3)))
+
+    def test_matmul_many_mixed_empty_members(self, rng):
+        core = PhotonicRnsTensorCore()
+        w = rng.normal(size=(8, 16))
+        xs = [rng.normal(size=(16, 3)), np.zeros((16, 0)), rng.normal(size=(16, 1))]
+        outs = core.matmul_many(w, xs)
+        assert [o.shape for o in outs] == [(8, 3), (8, 0), (8, 1)]
+        assert np.array_equal(outs[0], core.matmul(w, xs[0]))
+        assert np.array_equal(outs[2], core.matmul(w, xs[2]))
+
+    def test_matmul_many_all_empty_members(self, rng):
+        core = PhotonicRnsTensorCore()
+        w = rng.normal(size=(8, 16))
+        outs = core.matmul_many(w, [np.zeros((16, 0)), np.zeros((16, 0))])
+        assert [o.shape for o in outs] == [(8, 0), (8, 0)]
+        # All-empty batches never touch the tile packer.
+        assert core.tiles_programmed == 0
+
+    def test_matmul_many_zero_row_weights(self, rng):
+        core = PhotonicRnsTensorCore()
+        outs = core.matmul_many(
+            np.zeros((0, 16)), [rng.normal(size=(16, 2))]
+        )
+        assert [o.shape for o in outs] == [(0, 2)]
+        assert core.tiles_programmed == 0
+
+    def test_programmed_empty_stream(self, rng):
+        core = PhotonicRnsTensorCore()
+        pw = core.program(rng.normal(size=(8, 16)))
+        out = core.matmul_programmed(pw, np.zeros((16, 0)))
+        assert out.shape == (8, 0)
+
+
 class TestExecutorWeightCache:
     def test_linear_reuses_programming(self, rng):
         ex = PhotonicExecutor()

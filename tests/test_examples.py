@@ -39,6 +39,12 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "silent wraps" in result.stdout
 
+    def test_serving_demo(self):
+        result = _run("serving_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "micro-batching sustained" in result.stdout
+        assert "max drift 0.0e+00" in result.stdout
+
     def test_calibration_demo(self):
         result = _run("calibration_demo.py")
         assert result.returncode == 0, result.stderr

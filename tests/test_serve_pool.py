@@ -1,0 +1,129 @@
+"""Executor pool: placement, routing policies, cache accounting."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.serve import ExecutorPool, ROUTING_POLICIES
+
+
+def mlp(seed=0, d_in=8, hidden=16, d_out=4):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(d_in, hidden, rng=rng), ReLU(), Linear(hidden, d_out, rng=rng)
+    )
+
+
+class TestPlacement:
+    def test_replicas_spread_round_robin(self):
+        pool = ExecutorPool(4)
+        assert pool.place("a", mlp(0), replicas=2) == [0, 1]
+        assert pool.place("b", mlp(1), replicas=2) == [2, 3]
+        assert pool.place("c", mlp(2), replicas=1) == [0]
+
+    def test_replicas_clamped_to_pool(self):
+        pool = ExecutorPool(2)
+        assert sorted(pool.place("a", mlp(0), replicas=5)) == [0, 1]
+
+    def test_prewarm_programs_all_replicas(self):
+        pool = ExecutorPool(2)
+        pool.place("a", mlp(0), replicas=2, prewarm=True)
+        for wid in pool.replicas("a"):
+            info = pool.workers[wid].executor.cache_info()
+            assert info["size"] == 2  # two Linear layers
+            assert "a" in pool.workers[wid].models_programmed
+
+    def test_route_unplaced_model_raises(self):
+        pool = ExecutorPool(1)
+        with pytest.raises(KeyError):
+            pool.route("ghost", 0.0)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorPool(1, policy="random")
+        assert set(ROUTING_POLICIES) == {
+            "round_robin", "least_loaded", "cache_affinity"
+        }
+
+
+class TestRouting:
+    def test_round_robin_cycles_free_replicas(self):
+        pool = ExecutorPool(3, policy="round_robin")
+        pool.place("a", mlp(0), replicas=3)
+        picks = [pool.route("a", 0.0).worker_id for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_busy(self):
+        pool = ExecutorPool(2, policy="round_robin")
+        pool.place("a", mlp(0), replicas=2)
+        pool.workers[0].busy_until = 10.0
+        assert pool.route("a", 0.0).worker_id == 1
+        assert pool.route("a", 0.0).worker_id == 1
+
+    def test_least_loaded_prefers_idle_history(self):
+        pool = ExecutorPool(2, policy="least_loaded")
+        pool.place("a", mlp(0), replicas=2)
+        pool.workers[0].busy_time = 5.0
+        assert pool.route("a", 0.0).worker_id == 1
+
+    def test_all_busy_returns_none(self):
+        pool = ExecutorPool(2, policy="least_loaded")
+        pool.place("a", mlp(0), replicas=2)
+        for w in pool.workers:
+            w.busy_until = 1.0
+        assert pool.route("a", 0.5) is None
+        assert pool.route("a", 1.5) is not None
+        assert pool.next_free_time("a") == 1.0
+
+    def test_cache_affinity_prefers_warm_worker(self):
+        pool = ExecutorPool(2, policy="cache_affinity")
+        pool.place("a", mlp(0), replicas=2)
+        # Worker 1 has served the model; worker 0 is colder but less loaded.
+        pool.workers[1].models_programmed.add("a")
+        pool.workers[1].busy_time = 3.0
+        assert pool.route("a", 0.0).worker_id == 1
+
+    def test_cache_affinity_falls_back_when_warm_busy(self):
+        pool = ExecutorPool(2, policy="cache_affinity")
+        pool.place("a", mlp(0), replicas=2)
+        pool.workers[1].models_programmed.add("a")
+        pool.workers[1].busy_until = 1.0
+        assert pool.route("a", 0.0).worker_id == 0
+
+
+class TestExecutionAndStats:
+    def test_run_batch_outputs_and_booking(self):
+        pool = ExecutorPool(1)
+        model = mlp(3)
+        pool.place("a", model, prewarm=True)
+        worker = pool.workers[0]
+        xs = [np.random.default_rng(i).standard_normal(8) for i in range(4)]
+        out = worker.run_batch("a", model, xs, now=1.0, service_s=0.5)
+        assert out.shape == (4, 4)
+        assert worker.busy_until == pytest.approx(1.5)
+        assert worker.batches_served == 1
+        assert worker.requests_served == 4
+        stats = pool.worker_stats()[0]
+        assert stats["busy_time_s"] == pytest.approx(0.5)
+
+    def test_per_worker_caches_are_isolated(self):
+        pool = ExecutorPool(2)
+        model = mlp(4)
+        pool.place("a", model, replicas=2, prewarm=False)
+        xs = [np.zeros(8)]
+        pool.workers[0].run_batch("a", model, xs, 0.0, 0.1)
+        info0 = pool.workers[0].executor.cache_info()
+        info1 = pool.workers[1].executor.cache_info()
+        assert info0["size"] == 2
+        assert info1["size"] == 0
+
+    def test_cache_stats_aggregate(self):
+        pool = ExecutorPool(2)
+        model = mlp(5)
+        pool.place("a", model, replicas=1, prewarm=True)
+        wid = pool.replicas("a")[0]
+        pool.workers[wid].run_batch("a", model, [np.zeros(8)], 0.0, 0.1)
+        stats = pool.cache_stats()
+        assert stats["misses"] == 2  # prewarm programmed both layers
+        assert stats["hits"] == 2  # the batch reused them
+        assert stats["hit_rate"] == pytest.approx(0.5)

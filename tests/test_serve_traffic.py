@@ -1,0 +1,103 @@
+"""Traffic scenario generators: determinism, rates, and shapes."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    SCENARIO_NAMES,
+    bursty_scenario,
+    diurnal_scenario,
+    multi_tenant_scenario,
+    poisson_scenario,
+)
+from repro.serve.traffic import (
+    diurnal_arrivals,
+    onoff_arrivals,
+    poisson_arrivals,
+)
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrivals(rate=1000.0, duration=50.0, rng=rng)
+        assert times.size == pytest.approx(50_000, rel=0.05)
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] < 50.0
+
+    def test_poisson_deterministic(self):
+        a = poisson_arrivals(500.0, 10.0, np.random.default_rng(7))
+        b = poisson_arrivals(500.0, 10.0, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_poisson_degenerate(self):
+        rng = np.random.default_rng(0)
+        assert poisson_arrivals(0.0, 10.0, rng).size == 0
+        assert poisson_arrivals(10.0, 0.0, rng).size == 0
+
+    def test_onoff_has_silent_windows(self):
+        rng = np.random.default_rng(1)
+        times = onoff_arrivals(
+            on_rate=1000.0, on_s=1.0, off_s=1.0, duration=10.0, rng=rng
+        )
+        # No arrivals during OFF windows, e.g. [1, 2) and [3, 4).
+        frac = np.mod(times, 2.0)
+        assert np.all(frac < 1.0)
+        assert times.size == pytest.approx(5000, rel=0.1)
+
+    def test_diurnal_modulates_rate(self):
+        rng = np.random.default_rng(2)
+        times = diurnal_arrivals(
+            base_rate=100.0, peak_rate=2000.0, period=10.0, duration=10.0,
+            rng=rng,
+        )
+        # Peak (mid-period) quarter should see far more than the night
+        # quarters at the edges.
+        night = np.sum(times < 2.5) + np.sum(times >= 7.5)
+        peak = np.sum((times >= 2.5) & (times < 7.5))
+        assert peak > 2 * night
+
+    def test_diurnal_validates(self):
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10.0, 5.0, 1.0, 1.0, np.random.default_rng(0))
+
+
+class TestScenarios:
+    def test_poisson_scenario_fields(self):
+        s = poisson_scenario("m", rate=100.0, duration=5.0, seed=3)
+        assert s.name == "poisson"
+        assert s.models() == ["m"]
+        assert s.offered_rate == pytest.approx(s.num_requests / 5.0)
+        ts = [t for t, _ in s.arrivals]
+        assert ts == sorted(ts)
+
+    def test_scenarios_are_seed_deterministic(self):
+        for make in (
+            lambda seed: poisson_scenario("m", 200.0, 2.0, seed),
+            lambda seed: bursty_scenario("m", 400.0, 0.5, 0.5, 2.0, seed),
+            lambda seed: diurnal_scenario("m", 50.0, 500.0, 2.0, seed),
+            lambda seed: multi_tenant_scenario(
+                {"a": 3.0, "b": 1.0}, 200.0, 2.0, seed
+            ),
+        ):
+            assert make(11).arrivals == make(11).arrivals
+            assert make(11).arrivals != make(12).arrivals
+
+    def test_multi_tenant_mix_proportions(self):
+        s = multi_tenant_scenario(
+            {"hot": 8.0, "cold": 2.0}, rate=2000.0, duration=10.0, seed=4
+        )
+        counts = {m: 0 for m in ("hot", "cold")}
+        for _, m in s.arrivals:
+            counts[m] += 1
+        frac_hot = counts["hot"] / s.num_requests
+        assert frac_hot == pytest.approx(0.8, abs=0.03)
+
+    def test_multi_tenant_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            multi_tenant_scenario({"a": -1.0}, 10.0, 1.0)
+
+    def test_canonical_names(self):
+        assert set(SCENARIO_NAMES) == {
+            "poisson", "bursty", "diurnal", "multi_tenant"
+        }
