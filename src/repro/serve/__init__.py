@@ -1,18 +1,22 @@
 """Photonic inference serving runtime.
 
 Production-shaped serving on top of the paper's accelerator model:
-bounded admission, dynamic micro-batching into weight-programmed batched
-GEMM streams, executor pools sharding models (and replicas of hot
-models) across photonic cores, synthetic traffic scenarios on a
-deterministic simulated clock, and telemetry cross-checked against the
-analytic ``repro.arch`` latency model.
+bounded admission with class-aware load shedding, priority-ordered
+dynamic micro-batching into weight-programmed batched GEMM streams,
+executor pools sharding models (and replicas of hot models) across
+photonic cores with SLO-driven replica autoscaling, synthetic traffic
+scenarios on a deterministic simulated clock, and telemetry (including
+per-priority-class SLO attainment) cross-checked against the analytic
+``repro.arch`` latency model.
 """
 
 from .batcher import BatchPolicy, MicroBatcher
-from .clock import SimulatedClock
+from .clock import SimulatedClock, time_at_or_before, time_tolerance
 from .pool import ExecutorPool, PoolWorker, ROUTING_POLICIES
-from .request import AdmissionQueue, InferenceRequest, RequestStatus
+from .request import AdmissionQueue, InferenceRequest, Priority, RequestStatus
 from .runtime import (
+    Autoscaler,
+    AutoscalerPolicy,
     ModelProfile,
     ServiceModel,
     ServingRuntime,
@@ -25,18 +29,23 @@ from .traffic import (
     Scenario,
     bursty_scenario,
     diurnal_scenario,
+    multi_tenant_priority_scenario,
     multi_tenant_scenario,
     poisson_scenario,
+    priority_scenario,
 )
 
 __all__ = [
     "AdmissionQueue",
+    "Autoscaler",
+    "AutoscalerPolicy",
     "BatchPolicy",
     "ExecutorPool",
     "InferenceRequest",
     "MicroBatcher",
     "ModelProfile",
     "PoolWorker",
+    "Priority",
     "RequestStatus",
     "ROUTING_POLICIES",
     "SCENARIO_NAMES",
@@ -49,8 +58,12 @@ __all__ = [
     "diurnal_scenario",
     "infer_input_dim",
     "model_layer_shapes",
+    "multi_tenant_priority_scenario",
     "multi_tenant_scenario",
     "percentile",
     "poisson_scenario",
+    "priority_scenario",
     "summarize_latencies",
+    "time_at_or_before",
+    "time_tolerance",
 ]

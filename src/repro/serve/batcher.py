@@ -1,4 +1,4 @@
-"""Dynamic micro-batching scheduler.
+"""Dynamic micro-batching scheduler with priority-aware batch forming.
 
 The scheduler coalesces compatible requests (same model) into
 micro-batches dispatched through the weight-programmed executor as one
@@ -11,6 +11,16 @@ batched GEMM stream.  A batch launches when either
 and a worker holding a replica of that model is free.  ``max_wait_s = 0``
 with ``max_batch_size = 1`` degenerates to classic batch-1 serving, which
 the benchmarks use as the baseline.
+
+**Priorities.** Among *ready* models, dispatch order is decided by
+effective priority: each waiting request scores
+``priority + aging_rate_per_s * wait_time`` and a model is ranked by its
+best waiting score.  Higher classes therefore preempt the head of the
+dispatch order, while the aging term guarantees a low-class request
+eventually outranks fresh high-class arrivals (no starvation — with
+``aging_rate_per_s > 0`` a request gains one full class per
+``1 / aging_rate_per_s`` seconds of waiting).  The same scoring orders
+requests *within* a batch via :meth:`AdmissionQueue.pop_batch`.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from .clock import time_at_or_before
 from .request import AdmissionQueue, InferenceRequest
 
 __all__ = ["BatchPolicy", "MicroBatcher"]
@@ -25,10 +36,16 @@ __all__ = ["BatchPolicy", "MicroBatcher"]
 
 @dataclass(frozen=True)
 class BatchPolicy:
-    """Micro-batching knobs."""
+    """Micro-batching knobs.
+
+    ``aging_rate_per_s`` converts waiting time into priority: a request's
+    effective class grows by ``aging_rate_per_s * wait_s``.  ``0`` keeps
+    strict class order (starvation possible under sustained overload).
+    """
 
     max_batch_size: int = 32
     max_wait_s: float = 2e-6
+    aging_rate_per_s: float = 0.0
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -37,6 +54,10 @@ class BatchPolicy:
             )
         if self.max_wait_s < 0:
             raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.aging_rate_per_s < 0:
+            raise ValueError(
+                f"aging_rate_per_s must be >= 0, got {self.aging_rate_per_s}"
+            )
 
 
 class MicroBatcher:
@@ -60,31 +81,56 @@ class MicroBatcher:
         ]
         return min(deadlines) if deadlines else None
 
+    def urgency(self, queue: AdmissionQueue, model: str, now: float) -> float:
+        """Best effective priority among ``model``'s waiting requests.
+
+        ``priority + aging_rate_per_s * wait``; the per-class FIFO heads
+        are sufficient (within a class, the oldest request scores best).
+        """
+        rate = self.policy.aging_rate_per_s
+        return max(
+            (
+                r.priority + rate * (now - r.arrival_time)
+                for r in queue.class_heads(model)
+            ),
+            default=-float("inf"),
+        )
+
     def ready_model(
         self, queue: AdmissionQueue, now: float, excluded=()
     ) -> Optional[str]:
         """A model whose waiting requests should launch *now*, or None.
 
         A model is ready when its pending count fills a batch or its
-        oldest request's deadline has expired; among ready models the
-        earliest deadline wins, i.e. the model whose head request has
-        waited longest.  ``excluded`` models are skipped (the runtime
-        excludes models whose replicas are all busy).
+        oldest request's deadline has expired (up to relative timestamp
+        tolerance — an absolute epsilon underflows at large simulated
+        times).  Among ready models the highest urgency wins (effective
+        priority with aging), ties broken by earliest deadline — i.e. the
+        model whose head request has waited longest.  ``excluded`` models
+        are skipped (the runtime excludes models whose replicas are all
+        busy).
         """
-        best: Optional[Tuple[float, str]] = None
+        best: Optional[Tuple[float, float, str]] = None
         for model in queue.models_waiting():
             if model in excluded:
                 continue
             pending = queue.pending(model)
             dl = self.deadline(queue, model)
-            if pending >= self.policy.max_batch_size or dl <= now + 1e-15:
-                key = (dl, model)
+            if pending >= self.policy.max_batch_size or time_at_or_before(
+                dl, now
+            ):
+                key = (-self.urgency(queue, model, now), dl, model)
                 if best is None or key < best:
                     best = key
-        return best[1] if best else None
+        return best[2] if best else None
 
     def take_batch(
-        self, queue: AdmissionQueue, model: str
+        self, queue: AdmissionQueue, model: str, now: Optional[float] = None
     ) -> List[InferenceRequest]:
-        """Pop the micro-batch for ``model`` (oldest first, FIFO)."""
-        return queue.pop_batch(model, self.policy.max_batch_size)
+        """Pop the micro-batch for ``model`` (effective-priority order)."""
+        return queue.pop_batch(
+            model,
+            self.policy.max_batch_size,
+            now=now,
+            aging_rate=self.policy.aging_rate_per_s,
+        )

@@ -16,6 +16,12 @@ The pool executes micro-batches *functionally* (real batched GEMMs
 through the photonic core model) while the runtime advances simulated
 time with the analytic hardware latency — so outputs are real and cache
 hit rates are measured, not modelled.
+
+Replica sets are dynamic: :meth:`ExecutorPool.scale_to` grows or shrinks
+a model's replica set at simulated time ``now``, charging cold additions
+the weight-tile reprogramming latency (prewarm) and draining retired
+workers before they leave the routing set — the hooks the runtime's
+:class:`~repro.serve.runtime.Autoscaler` drives.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ import numpy as np
 
 from ..core.pipeline import PhotonicExecutor
 from ..nn.layers import Sequential
+from .clock import time_at_or_before
 from .request import InferenceRequest
 
 __all__ = ["PoolWorker", "ExecutorPool", "ROUTING_POLICIES"]
@@ -47,7 +54,10 @@ class PoolWorker:
         self.models_programmed: Set[str] = set()
 
     def is_free(self, now: float) -> bool:
-        return self.busy_until <= now + 1e-15
+        # Relative tolerance: an absolute epsilon (the old 1e-15) is below
+        # double spacing once timestamps pass ~1 s, so a worker freed "at
+        # exactly now" would compare busy forever at large simulated times.
+        return time_at_or_before(self.busy_until, now)
 
     def run_booking(
         self, model_name: str, batch: int, now: float, service_s: float
@@ -125,6 +135,69 @@ class ExecutorPool:
                 self.workers[wid].executor.prewarm(model)
                 self.workers[wid].models_programmed.add(name)
         return assigned
+
+    def scale_to(
+        self,
+        name: str,
+        n: int,
+        now: float,
+        prewarm_latency_s: float = 0.0,
+    ) -> Dict[str, List[int]]:
+        """Grow or shrink ``name``'s replica set to ``n`` workers.
+
+        Scale-up assigns additional workers (cache-warm ones first, then
+        least-loaded), programs the model's weight tiles on each *cold*
+        addition, and charges ``prewarm_latency_s`` of reprogramming time
+        (from ``arch.latency``: one phase-shifter settle per weight tile)
+        to that worker's busy window — a freshly added cold replica serves
+        its first batch only after its tiles are programmed.  Warm
+        rejoining workers pay nothing.
+
+        Scale-down is **drain-before-retire**: retired workers leave the
+        routing set immediately (no new batches land on them) but keep
+        their booked busy window, so an in-flight batch always completes.
+        Last-added replicas retire first.  ``n`` is clamped to
+        ``[1, num_workers]``.  Returns the worker ids ``added`` (with the
+        ``cold`` subset that actually paid the reprogram) and ``removed``.
+        """
+        if name not in self._replicas:
+            raise KeyError(f"model {name!r} is not placed on this pool")
+        n = min(max(1, n), len(self.workers))
+        current = self._replicas[name]
+        added: List[int] = []
+        cold: List[int] = []
+        removed: List[int] = []
+        if n > len(current):
+            candidates = [
+                w for w in self.workers if w.worker_id not in current
+            ]
+            # Warm workers rejoin free; cold ones by load, then id.
+            candidates.sort(
+                key=lambda w: (
+                    name not in w.models_programmed,
+                    w.busy_time,
+                    w.worker_id,
+                )
+            )
+            for w in candidates[: n - len(current)]:
+                if name not in w.models_programmed:
+                    w.executor.prewarm(self._models[name])
+                    w.models_programmed.add(name)
+                    w.busy_until = (
+                        max(w.busy_until, now) + prewarm_latency_s
+                    )
+                    w.busy_time += prewarm_latency_s
+                    cold.append(w.worker_id)
+                current.append(w.worker_id)
+                added.append(w.worker_id)
+        elif n < len(current):
+            removed = current[n:]
+            del current[n:]
+            self._rr_state[name] = self._rr_state[name] % max(1, n)
+        return {"added": added, "cold": cold, "removed": removed}
+
+    def num_replicas(self, name: str) -> int:
+        return len(self._replicas[name])
 
     def model(self, name: str) -> Sequential:
         return self._models[name]

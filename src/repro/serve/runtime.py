@@ -8,6 +8,21 @@ micro-batches, and the :class:`~repro.serve.pool.ExecutorPool` dispatches
 each batch through a weight-programmed photonic executor as one batched
 GEMM stream.
 
+Two control knobs turn the batcher into a serving system:
+
+* **priority classes** — arrivals may carry a priority (see
+  :class:`~repro.serve.request.Priority`); admission sheds the lowest
+  class first, and the batcher dispatches by effective priority with an
+  aging term (:class:`~repro.serve.batcher.BatchPolicy`
+  ``aging_rate_per_s``) so low classes cannot starve;
+* **SLO-driven autoscaling** — an :class:`Autoscaler`
+  (:class:`AutoscalerPolicy` knobs) watches each model's windowed p99
+  latency against its SLO and its queue depth at a fixed simulated-clock
+  cadence, growing the replica set ahead of a ramp (charging the
+  weight-tile reprogramming latency from ``arch.latency`` to the new
+  replica) and draining replicas back when the tail is comfortably
+  inside the SLO.
+
 Two notions of time coexist deliberately:
 
 * **functional execution** — each micro-batch really runs through the
@@ -28,6 +43,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -35,6 +51,7 @@ import numpy as np
 
 from ..arch.accelerator import MirageAccelerator
 from ..arch.inference import per_request_latency
+from ..arch.tiling import map_gemm
 from ..arch.workloads import GemmShape, LayerShape
 from ..nn.conv import Conv2d, conv_output_size
 from ..nn.layers import Linear, Sequential
@@ -42,9 +59,11 @@ from .batcher import BatchPolicy, MicroBatcher
 from .clock import SimulatedClock
 from .pool import ExecutorPool
 from .request import AdmissionQueue, InferenceRequest, RequestStatus
-from .telemetry import Telemetry, summarize_latencies
+from .telemetry import Telemetry, percentile, summarize_latencies
 
 __all__ = [
+    "AutoscalerPolicy",
+    "Autoscaler",
     "ModelProfile",
     "ServiceModel",
     "ServingRuntime",
@@ -148,11 +167,215 @@ class ServiceModel:
             )["batch_latency_s"]
         return self._cache[key]
 
+    def prewarm_latency(self, model: str) -> float:
+        """Seconds to program all of ``model``'s weight tiles on one core.
+
+        One phase-shifter settle (``reprogram_time_s``) per round of
+        stationary weight tiles spread over the ``num_arrays`` RNS-MMVMUs
+        — the cost a cold replica pays before it can serve its first
+        batch, charged by the autoscaler on scale-up.
+        """
+        key = (model, -1)
+        if key not in self._cache:
+            profile = self._profiles[model]
+            config = self.accelerator.config
+            shapes = model_layer_shapes(
+                model, profile.model, 1, profile.input_hw
+            )
+            total = 0.0
+            for layer in shapes:
+                mapping = map_gemm(layer.gemm, config.v, config.g, "first")
+                rounds = -(-mapping.tiles // config.num_arrays)
+                total += rounds * config.reprogram_time_s
+            self._cache[key] = total
+        return self._cache[key]
+
+
+# ----------------------------------------------------------------------
+# SLO-driven replica autoscaling
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Knobs of the latency-driven replica autoscaler.
+
+    The control loop runs every ``interval_s`` of simulated time.  Per
+    model it scales **up** when the windowed p99 latency breaches
+    ``slo_scale_up`` of the model's SLO or queue depth per replica
+    exceeds ``queue_high_per_replica`` (sized by queue pressure, so a
+    steep ramp can add several replicas in one tick), and scales **down
+    one replica at a time** when the tail sits below ``slo_scale_down``
+    of the SLO with a near-empty queue, after ``scale_down_cooldown_s``
+    of stability — asymmetric thresholds and the cooldown prevent
+    flapping.
+    """
+
+    interval_s: float = 2e-7
+    window_s: float = 5e-7
+    min_replicas: int = 1
+    max_replicas: int = 8
+    slo_scale_up: float = 0.9
+    slo_scale_down: float = 0.5
+    queue_high_per_replica: float = 16.0
+    queue_low_per_replica: float = 2.0
+    scale_down_cooldown_s: float = 4e-7
+
+    def __post_init__(self):
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {self.interval_s}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {self.window_s}")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError(
+                f"need 1 <= min_replicas <= max_replicas, got "
+                f"{self.min_replicas}..{self.max_replicas}"
+            )
+        if not 0 < self.slo_scale_down <= self.slo_scale_up:
+            raise ValueError(
+                "need 0 < slo_scale_down <= slo_scale_up, got "
+                f"{self.slo_scale_down}/{self.slo_scale_up}"
+            )
+        if self.queue_high_per_replica <= 0 or self.queue_low_per_replica < 0:
+            raise ValueError("queue thresholds must be positive/non-negative")
+
+
+class Autoscaler:
+    """Per-model replica controller over the pool, driven by telemetry.
+
+    Reads each model's windowed p99-vs-SLO and queue depth, and asks
+    :meth:`ExecutorPool.scale_to` for more or fewer replicas.  Scale-ups
+    charge the model's weight-tile reprogramming latency (from
+    ``arch.latency`` via :meth:`ServiceModel.prewarm_latency`) to the new
+    replica's busy window; scale-downs drain before retiring.  Also keeps
+    the replica-second ledger the autoscaling benchmark reports
+    (provisioned capacity integrated over simulated time).
+    """
+
+    def __init__(self, runtime: "ServingRuntime", policy: AutoscalerPolicy):
+        self.runtime = runtime
+        self.policy = policy
+        self.events: List[Dict[str, float]] = []
+        self._last_change: Dict[str, float] = {}
+        self._rs: Dict[str, float] = {}
+        self._rs_t: Dict[str, float] = {}
+        self._rs_n: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def start(self, now: float = 0.0) -> None:
+        """Open the replica-second ledger at the current replica counts."""
+        for name in self.runtime.pool.model_names():
+            self._last_change[name] = now
+            self._rs[name] = 0.0
+            self._rs_t[name] = now
+            self._rs_n[name] = self.runtime.pool.num_replicas(name)
+
+    def _account(self, name: str, now: float) -> None:
+        self._rs[name] += self._rs_n[name] * (now - self._rs_t[name])
+        self._rs_t[name] = now
+        self._rs_n[name] = self.runtime.pool.num_replicas(name)
+
+    def finalize(self, horizon: float) -> None:
+        """Close the ledger at the scenario horizon."""
+        for name in list(self._rs):
+            if horizon > self._rs_t[name]:
+                self._account(name, horizon)
+
+    def replica_seconds(self, model: Optional[str] = None) -> float:
+        if model is not None:
+            return self._rs.get(model, 0.0)
+        return sum(self._rs.values())
+
+    # ------------------------------------------------------------------
+    def desired_replicas(self, name: str, now: float) -> int:
+        """The controller decision for one model at time ``now``."""
+        rt, pol = self.runtime, self.policy
+        cur = rt.pool.num_replicas(name)
+        depth = rt.queue.pending(name)
+        lat = rt.telemetry.latencies(model=name, since=now - pol.window_s)
+        p99 = percentile(lat, 99) if lat else None
+        slo = rt.profiles()[name].slo_s
+
+        # The pool is the hard ceiling: clamping here (not just inside
+        # scale_to) keeps a saturated pool from emitting no-op scale
+        # events every tick and perpetually resetting the cooldown.
+        ceiling = min(pol.max_replicas, len(rt.pool.workers))
+        queue_pressure = depth > pol.queue_high_per_replica * cur
+        slo_breach = (
+            slo is not None and p99 is not None and p99 > pol.slo_scale_up * slo
+        )
+        if queue_pressure or slo_breach:
+            by_queue = math.ceil(depth / pol.queue_high_per_replica)
+            # Never *shrink* on the overload branch: if the deployment was
+            # placed above the policy ceiling, retiring replicas exactly
+            # when load spikes would be the opposite of the intent.
+            return max(cur, min(ceiling, max(cur + 1, by_queue)))
+
+        cooled = (
+            now - self._last_change.get(name, 0.0)
+            >= pol.scale_down_cooldown_s
+        )
+        tail_ok = slo is None or p99 is None or p99 < pol.slo_scale_down * slo
+        queue_ok = depth <= pol.queue_low_per_replica * max(cur - 1, 1)
+        if cur > pol.min_replicas and cooled and tail_ok and queue_ok:
+            return cur - 1
+        return max(cur, pol.min_replicas)
+
+    def evaluate(self, now: float) -> List[Dict[str, float]]:
+        """Run one control tick; returns the scaling actions taken."""
+        actions: List[Dict[str, float]] = []
+        for name in self.runtime.pool.model_names():
+            cur = self.runtime.pool.num_replicas(name)
+            desired = self.desired_replicas(name, now)
+            if desired == cur:
+                continue
+            self._account(name, now)
+            prewarm_s = (
+                self.runtime.service.prewarm_latency(name)
+                if desired > cur
+                else 0.0
+            )
+            delta = self.runtime.pool.scale_to(
+                name, desired, now, prewarm_latency_s=prewarm_s
+            )
+            self._rs_n[name] = self.runtime.pool.num_replicas(name)
+            self._last_change[name] = now
+            ready_at = now
+            for wid in delta["added"]:
+                ready_at = max(
+                    ready_at, self.runtime.pool.workers[wid].busy_until
+                )
+            action = {
+                "t": now,
+                "model": name,
+                "from": cur,
+                "to": self.runtime.pool.num_replicas(name),
+                "prewarm_s": prewarm_s if delta["cold"] else 0.0,
+                "ready_at": ready_at,
+            }
+            self.events.append(action)
+            actions.append(action)
+        return actions
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "events": [dict(e) for e in self.events],
+            "num_scale_ups": sum(1 for e in self.events if e["to"] > e["from"]),
+            "num_scale_downs": sum(
+                1 for e in self.events if e["to"] < e["from"]
+            ),
+            "replica_seconds": {
+                name: self._rs.get(name, 0.0) for name in sorted(self._rs)
+            },
+            "final_replicas": {
+                name: self.runtime.pool.num_replicas(name)
+                for name in self.runtime.pool.model_names()
+            },
+        }
+
 
 # ----------------------------------------------------------------------
 # The discrete-event serving loop
 # ----------------------------------------------------------------------
-_ARRIVAL, _WORKER_FREE, _DEADLINE = 0, 1, 2
+_ARRIVAL, _WORKER_FREE, _DEADLINE, _SCALE = 0, 1, 2, 3
 
 
 class ServingRuntime:
@@ -169,6 +392,7 @@ class ServingRuntime:
         queue_capacity: int = 256,
         accelerator: Optional[MirageAccelerator] = None,
         execute: bool = True,
+        autoscaler: Optional[AutoscalerPolicy] = None,
     ):
         self.pool = pool
         self.batcher = MicroBatcher(policy)
@@ -177,6 +401,9 @@ class ServingRuntime:
         self.clock = SimulatedClock()
         self.telemetry = Telemetry()
         self.execute = execute
+        self.autoscaler = (
+            Autoscaler(self, autoscaler) if autoscaler is not None else None
+        )
         self._profiles: Dict[str, ModelProfile] = {}
         self._req_ids = itertools.count()
 
@@ -219,20 +446,49 @@ class ServingRuntime:
         def push(t: float, kind: int, payload: object) -> None:
             heapq.heappush(heap, (t, kind, next(seq), payload))
 
-        for t, model in scenario.arrivals:
+        last_arrival = 0.0
+        for arrival in scenario.arrivals:
+            t, model = arrival[0], arrival[1]
+            priority = arrival[2] if len(arrival) > 2 else 0
             if model not in self._profiles:
                 raise KeyError(
                     f"scenario names model {model!r} but it is not registered"
                 )
-            push(t, _ARRIVAL, model)
+            push(t, _ARRIVAL, (model, priority))
+            last_arrival = max(last_arrival, t)
+
+        if self.autoscaler is not None and scenario.arrivals:
+            # One pending tick at a time (the handler re-arms the next)
+            # keeps the heap O(1) in ticks even when the horizon spans
+            # millions of control intervals.  The payload carries the tick
+            # index so every tick lands at exactly k * interval_s
+            # (re-accumulating `now + interval` would drift by ulps and
+            # perturb threshold decisions).
+            self.autoscaler.start(0.0)
+            push(self.autoscaler.policy.interval_s, _SCALE, 1)
 
         while heap:
             t, kind, _, payload = heapq.heappop(heap)
             now = self.clock.advance_to(t)
             if kind == _ARRIVAL:
-                self._admit(str(payload), now, rng, input_fn)
+                model, priority = payload
+                self._admit(model, priority, now, rng, input_fn)
             elif kind == _WORKER_FREE:
                 self._complete(payload)
+            elif kind == _SCALE:
+                for action in self.autoscaler.evaluate(now):
+                    if action["ready_at"] > now:
+                        # Wake the loop when the prewarmed replica comes
+                        # online so waiting batches dispatch immediately.
+                        push(action["ready_at"], _DEADLINE, None)
+                # Keep ticking while arrivals are still coming OR a
+                # backlog is draining — a burst shorter than one interval
+                # and an overhang past the last arrival both still need
+                # the control loop.  Stops once the queue is empty after
+                # the final arrival, so the event loop terminates.
+                next_tick = (payload + 1) * self.autoscaler.policy.interval_s
+                if next_tick <= last_arrival or self.queue.depth > 0:
+                    push(next_tick, _SCALE, payload + 1)
             # _DEADLINE events exist only to trigger a drain.
             self._drain(now, push)
             self.telemetry.sample_queue_depth(now, self.queue.depth)
@@ -270,6 +526,7 @@ class ServingRuntime:
     def _admit(
         self,
         model: str,
+        priority: int,
         now: float,
         rng: np.random.Generator,
         input_fn: Optional[Callable[[str, np.random.Generator], np.ndarray]],
@@ -278,9 +535,13 @@ class ServingRuntime:
             x = np.asarray(input_fn(model, rng), dtype=np.float64)
         else:
             x = self._default_input(self._profiles[model], rng)
-        request = InferenceRequest(next(self._req_ids), model, x, now)
+        request = InferenceRequest(
+            next(self._req_ids), model, x, now, priority=priority
+        )
         if not self.queue.offer(request):
             self.telemetry.record_rejection(request)
+        for victim in self.queue.drain_evicted():
+            self.telemetry.record_rejection(victim)
 
     def _drain(self, now: float, push) -> None:
         """Dispatch every batch that is ready and has a free worker."""
@@ -307,7 +568,7 @@ class ServingRuntime:
             push(dl, _DEADLINE, None)
 
     def _dispatch(self, model: str, worker, now: float, push) -> None:
-        batch = self.batcher.take_batch(self.queue, model)
+        batch = self.batcher.take_batch(self.queue, model, now)
         service_s = self.service.batch_latency(model, len(batch))
         profile = self._profiles[model]
         if self.execute:
@@ -360,6 +621,12 @@ class ServingRuntime:
             for name in self._profiles
         }
         out["workers"] = self.pool.worker_stats()
+        if self.autoscaler is not None:
+            self.autoscaler.finalize(horizon)
+            out["autoscaler"] = self.autoscaler.summary()
+            out["autoscaler"]["replica_seconds_total"] = (
+                self.autoscaler.replica_seconds()
+            )
         # Cross-check with a *fresh* ServiceModel (empty memo cache) so the
         # recorded busy intervals are re-derived from arch.inference from
         # scratch — drift or memo corruption in the runtime's own service

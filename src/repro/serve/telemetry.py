@@ -11,11 +11,16 @@ the report can *cross-check* itself: recomputing each dispatched batch's
 service latency from its (model, batch-size) pair must reproduce the
 recorded busy intervals exactly.  ``slo_attainment`` then reads as
 "fraction of admitted requests that met their latency target on the
-simulated hardware".
+simulated hardware"; with priority-classed traffic the summary splits it
+per class (``per_class``: completions, sheds — rejections *and*
+evictions — attainment and p99 per priority), and the windowed
+:meth:`Telemetry.latencies` filter is what the replica autoscaler's
+control loop reads.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -60,6 +65,8 @@ class Telemetry:
     def __init__(self):
         self.completed: List[InferenceRequest] = []
         self.rejected: int = 0
+        self.rejected_by_class: Counter = Counter()
+        self.evicted: int = 0
         self.batches: List[_BatchRecord] = []
         self._depth_samples: List[Tuple[float, int]] = []
 
@@ -67,7 +74,12 @@ class Telemetry:
     # Recording
     # ------------------------------------------------------------------
     def record_rejection(self, request: InferenceRequest) -> None:
+        """A shed request — rejected at admission or evicted by a higher
+        class; both count against its class's SLO attainment."""
         self.rejected += 1
+        self.rejected_by_class[request.priority] += 1
+        if request.status == RequestStatus.EVICTED:
+            self.evicted += 1
 
     def record_batch(
         self,
@@ -90,12 +102,40 @@ class Telemetry:
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
-    def latencies(self, model: Optional[str] = None) -> List[float]:
+    def latencies(
+        self,
+        model: Optional[str] = None,
+        priority: Optional[int] = None,
+        since: Optional[float] = None,
+    ) -> List[float]:
+        """Total latencies of completed requests, optionally filtered by
+        model, priority class, and completion time (``since`` — the
+        autoscaler's sliding window).
+
+        Completions are recorded in nondecreasing ``completion_time``
+        order (the event loop pops worker-free events in time order), so
+        the ``since`` window starts at a bisected index instead of
+        scanning the whole history — the autoscaler queries this every
+        control tick.
+        """
+        start = 0
+        if since is not None:
+            start = bisect_left(
+                self.completed, since, key=lambda r: r.completion_time
+            )
         return [
             r.total_latency
-            for r in self.completed
-            if r.total_latency is not None and (model is None or r.model == model)
+            for r in self.completed[start:]
+            if r.total_latency is not None
+            and (model is None or r.model == model)
+            and (priority is None or r.priority == priority)
         ]
+
+    def classes_seen(self) -> List[int]:
+        """Priority classes observed across completions and rejections."""
+        seen = {r.priority for r in self.completed}
+        seen.update(self.rejected_by_class)
+        return sorted(seen)
 
     def batch_size_histogram(self) -> Dict[int, int]:
         return dict(sorted(Counter(b.batch_size for b in self.batches).items()))
@@ -137,6 +177,19 @@ class Telemetry:
         met = sum(1 for v in lat if v <= slo_s + 1e-15)
         return met / total
 
+    def slo_attainment_by_class(self, slo_s: float) -> Dict[int, float]:
+        """Per-priority-class SLO attainment (rejections count as misses)."""
+        out: Dict[int, float] = {}
+        for p in self.classes_seen():
+            lat = self.latencies(priority=p)
+            total = len(lat) + self.rejected_by_class.get(p, 0)
+            if total == 0:
+                out[p] = 1.0
+                continue
+            met = sum(1 for v in lat if v <= slo_s + 1e-15)
+            out[p] = met / total
+        return out
+
     def cross_check_service_model(
         self, service_fn: Callable[[str, int], float]
     ) -> Dict[str, float]:
@@ -170,6 +223,7 @@ class Telemetry:
         out: Dict[str, object] = {
             "completed": len(self.completed),
             "rejected": self.rejected,
+            "evicted": self.evicted,
             "throughput_rps": self.throughput(horizon_s),
             "latency": summarize_latencies(lat),
             "mean_batch_size": self.mean_batch_size(),
@@ -181,6 +235,22 @@ class Telemetry:
         if slo_s is not None:
             out["slo_s"] = slo_s
             out["slo_attainment"] = self.slo_attainment(slo_s)
+            # Single-class default-priority deployments keep the old
+            # summary shape; any other class present adds the breakdown.
+            classes = self.classes_seen()
+            if classes != [0]:
+                by_class = self.slo_attainment_by_class(slo_s)
+                out["per_class"] = {
+                    str(p): {
+                        "completed": sum(
+                            1 for r in self.completed if r.priority == p
+                        ),
+                        "rejected": self.rejected_by_class.get(p, 0),
+                        "slo_attainment": by_class[p],
+                        "p99_s": percentile(self.latencies(priority=p), 99),
+                    }
+                    for p in classes
+                }
         if cache_stats is not None:
             out["programmed_cache"] = cache_stats
         return out

@@ -1,9 +1,12 @@
 """Synthetic traffic scenarios for the serving runtime.
 
 Every generator is deterministic in its seed and produces a
-:class:`Scenario`: a time-sorted list of ``(arrival_time, model_name)``
-pairs on the simulated clock.  Four canonical shapes cover the load
-patterns a production deployment sees:
+:class:`Scenario`: a time-sorted list of arrivals on the simulated clock.
+Arrivals are ``(arrival_time, model_name)`` pairs, or
+``(arrival_time, model_name, priority)`` triples for priority-classed
+traffic (higher priority = more important; see
+:class:`~repro.serve.request.Priority`).  Six canonical shapes cover the
+load patterns a production deployment sees:
 
 * **Poisson** — memoryless steady-state traffic at a fixed rate;
 * **bursty (ON-OFF)** — alternating silence and Poisson bursts, the
@@ -11,17 +14,26 @@ patterns a production deployment sees:
 * **diurnal ramp** — a sinusoidal rate sweep between a base and a peak,
   the day/night cycle compressed to the simulation horizon;
 * **multi-tenant mix** — Poisson arrivals split across several models by
-  a popularity weighting, exercising placement and cache affinity.
+  a popularity weighting, exercising placement and cache affinity;
+* **priority mix** — Poisson arrivals split across priority classes
+  (interactive / standard / batch), exercising class-aware shedding and
+  priority-ordered batch forming;
+* **multi-tenant priority** — both splits at once: each tenant model has
+  its own class mix (e.g. an interactive-heavy tenant sharing the pool
+  with a batch-analytics tenant).
 
 Inhomogeneous rates use Lewis-Shedler thinning against the peak rate, so
-arrival statistics are exact, not binned.
+arrival statistics are exact, not binned.  Unbounded-memory and
+divide-by-zero corner cases are validated away: generators draw in
+capped chunks (``_CHUNK``) and reject non-finite or non-positive shape
+parameters instead of looping forever.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,14 +43,32 @@ __all__ = [
     "onoff_arrivals",
     "diurnal_arrivals",
     "assign_models",
+    "assign_priorities",
     "poisson_scenario",
     "bursty_scenario",
     "diurnal_scenario",
     "multi_tenant_scenario",
+    "priority_scenario",
+    "multi_tenant_priority_scenario",
     "SCENARIO_NAMES",
 ]
 
-SCENARIO_NAMES = ("poisson", "bursty", "diurnal", "multi_tenant")
+SCENARIO_NAMES = (
+    "poisson",
+    "bursty",
+    "diurnal",
+    "multi_tenant",
+    "priority",
+    "multi_tenant_priority",
+)
+
+# Arrivals are (time, model) or (time, model, priority).
+Arrival = Union[Tuple[float, str], Tuple[float, str, int]]
+
+# Cap on exponential-gap draws per chunk: keeps peak memory O(_CHUNK) no
+# matter how large rate * duration is, while cumulative-sum chaining keeps
+# the sequence deterministic and the tail exact.
+_CHUNK = 65536
 
 
 @dataclass(frozen=True)
@@ -46,7 +76,7 @@ class Scenario:
     """A named, fully materialised arrival trace."""
 
     name: str
-    arrivals: Tuple[Tuple[float, str], ...]  # (time_s, model_name), sorted
+    arrivals: Tuple[Arrival, ...]  # sorted by time
     duration_s: float
 
     @property
@@ -59,7 +89,19 @@ class Scenario:
         return self.num_requests / self.duration_s if self.duration_s else 0.0
 
     def models(self) -> List[str]:
-        return sorted({m for _, m in self.arrivals})
+        return sorted({a[1] for a in self.arrivals})
+
+    def priorities(self) -> List[int]:
+        """Priority classes present (default class 0 for pairs)."""
+        return sorted(
+            {a[2] if len(a) > 2 else 0 for a in self.arrivals}
+        )
+
+
+def _check_finite(**params: float) -> None:
+    for name, value in params.items():
+        if not math.isfinite(value):
+            raise ValueError(f"{name} must be finite, got {value}")
 
 
 # ----------------------------------------------------------------------
@@ -68,18 +110,27 @@ class Scenario:
 def poisson_arrivals(
     rate: float, duration: float, rng: np.random.Generator
 ) -> np.ndarray:
-    """Homogeneous Poisson arrival times in ``[0, duration)``."""
-    if rate <= 0 or duration <= 0:
+    """Homogeneous Poisson arrival times in ``[0, duration)``.
+
+    Gaps are drawn in chunks of at most ``_CHUNK`` exponentials and
+    chained through a running cumulative sum, so memory stays bounded for
+    arbitrarily large ``rate * duration`` (the old code re-drew an
+    O(rate * duration)-sized chunk on *every* pass) and the tail beyond
+    the horizon is still generated and trimmed exactly.
+    """
+    _check_finite(rate=rate, duration=duration)
+    if rate < 0:
+        raise ValueError(f"rate must be >= 0, got {rate}")
+    if rate == 0 or duration <= 0:
         return np.empty(0)
-    # Draw in chunks until past the horizon — vectorised, deterministic.
     times: List[np.ndarray] = []
     t = 0.0
-    expected = max(16, int(rate * duration * 1.2))
+    chunk = min(_CHUNK, max(16, int(rate * duration * 1.2)))
     while t < duration:
-        gaps = rng.exponential(1.0 / rate, size=expected)
-        chunk = t + np.cumsum(gaps)
-        times.append(chunk)
-        t = chunk[-1]
+        gaps = rng.exponential(1.0 / rate, size=chunk)
+        block = t + np.cumsum(gaps)
+        times.append(block)
+        t = block[-1]
     all_t = np.concatenate(times)
     return all_t[all_t < duration]
 
@@ -91,7 +142,17 @@ def onoff_arrivals(
     duration: float,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """ON-OFF modulated Poisson: bursts at ``on_rate``, then silence."""
+    """ON-OFF modulated Poisson: bursts at ``on_rate``, then silence.
+
+    ``on_s`` must be positive and ``off_s`` non-negative — a zero or
+    negative ``on_s`` would never advance the window cursor and loop
+    forever (or walk backwards) instead of producing traffic.
+    """
+    _check_finite(on_rate=on_rate, on_s=on_s, off_s=off_s, duration=duration)
+    if on_s <= 0:
+        raise ValueError(f"on_s must be > 0, got {on_s}")
+    if off_s < 0:
+        raise ValueError(f"off_s must be >= 0, got {off_s}")
     out: List[np.ndarray] = []
     t = 0.0
     while t < duration:
@@ -111,8 +172,18 @@ def diurnal_arrivals(
     """Sinusoidal-rate Poisson via Lewis-Shedler thinning.
 
     Instantaneous rate: ``base + (peak - base) * (1 - cos(2πt/T)) / 2``
-    — starts at the base ("night"), peaks mid-period.
+    — starts at the base ("night"), peaks mid-period.  ``period`` must be
+    positive (zero would divide by zero in the phase; a negative period
+    is meaningless) and ``peak_rate`` must be positive and >= base.
     """
+    _check_finite(
+        base_rate=base_rate, peak_rate=peak_rate, period=period,
+        duration=duration,
+    )
+    if period <= 0:
+        raise ValueError(f"period must be > 0, got {period}")
+    if base_rate < 0:
+        raise ValueError(f"base_rate must be >= 0, got {base_rate}")
     if peak_rate < base_rate:
         raise ValueError("peak_rate must be >= base_rate")
     candidates = poisson_arrivals(peak_rate, duration, rng)
@@ -139,6 +210,29 @@ def assign_models(
     picks = rng.choice(len(names), size=times.size, p=weights)
     order = np.argsort(times, kind="stable")
     return tuple((float(times[i]), names[picks[i]]) for i in order)
+
+
+def assign_priorities(
+    arrivals: Sequence[Tuple[float, str]],
+    class_mix: Dict[int, float],
+    rng: np.random.Generator,
+) -> Tuple[Tuple[float, str, int], ...]:
+    """Tag ``(time, model)`` arrivals with priority classes.
+
+    ``class_mix`` maps priority class -> relative weight, e.g.
+    ``{Priority.INTERACTIVE: 1, Priority.BATCH: 4}`` for a mostly-batch
+    workload with an interactive foreground.
+    """
+    classes = sorted(class_mix)
+    weights = np.array([class_mix[c] for c in classes], dtype=np.float64)
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError(f"bad class mix {class_mix}")
+    weights = weights / weights.sum()
+    picks = rng.choice(len(classes), size=len(arrivals), p=weights)
+    return tuple(
+        (t, model, classes[picks[i]])
+        for i, (t, model) in enumerate(arrivals)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -186,3 +280,50 @@ def multi_tenant_scenario(
     rng = np.random.default_rng(seed)
     times = poisson_arrivals(rate, duration, rng)
     return Scenario("multi_tenant", assign_models(times, mix, rng), duration)
+
+
+def priority_scenario(
+    model: str,
+    rate: float,
+    duration: float,
+    class_mix: Dict[int, float],
+    seed: int = 0,
+) -> Scenario:
+    """Poisson traffic to one model, split across priority classes."""
+    rng = np.random.default_rng(seed)
+    times = poisson_arrivals(rate, duration, rng)
+    tagged = assign_priorities(
+        assign_models(times, {model: 1.0}, rng), class_mix, rng
+    )
+    return Scenario("priority", tagged, duration)
+
+
+def multi_tenant_priority_scenario(
+    mix: Dict[str, float],
+    rate: float,
+    duration: float,
+    class_mix_by_model: Dict[str, Dict[int, float]],
+    seed: int = 0,
+) -> Scenario:
+    """Multi-tenant Poisson traffic where each tenant has a class mix.
+
+    Models absent from ``class_mix_by_model`` send default-class (0)
+    traffic.  Per-model class draws happen in sorted model order, keeping
+    the trace deterministic in the seed.
+    """
+    rng = np.random.default_rng(seed)
+    times = poisson_arrivals(rate, duration, rng)
+    tagged: List[Arrival] = list(assign_models(times, mix, rng))
+    for name in sorted(class_mix_by_model):
+        idx = [i for i, a in enumerate(tagged) if a[1] == name]
+        if not idx:
+            continue
+        sub = assign_priorities(
+            [tagged[i][:2] for i in idx], class_mix_by_model[name], rng
+        )
+        for i, arrival in zip(idx, sub):
+            tagged[i] = arrival
+    arrivals = tuple(
+        a if len(a) > 2 else (a[0], a[1], 0) for a in tagged
+    )
+    return Scenario("multi_tenant_priority", arrivals, duration)

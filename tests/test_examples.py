@@ -45,6 +45,14 @@ class TestExamples:
         assert "micro-batching sustained" in result.stdout
         assert "max drift 0.0e+00" in result.stdout
 
+    def test_autoscale_demo(self):
+        result = _run("autoscale_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "replica timeline" in result.stdout
+        assert "of peak provisioning" in result.stdout
+        assert "evictions (batch shed for interactive)" in result.stdout
+        assert "max drift 0.0e+00" in result.stdout
+
     def test_calibration_demo(self):
         result = _run("calibration_demo.py")
         assert result.returncode == 0, result.stderr
@@ -76,6 +84,7 @@ class TestExamples:
     def test_all_examples_present(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {
+            "autoscale_demo.py",
             "quickstart.py",
             "train_mirage_vs_fp32.py",
             "design_space_exploration.py",

@@ -91,6 +91,86 @@ class TestRouting:
         assert pool.route("a", 0.0).worker_id == 0
 
 
+class TestTimeTolerance:
+    def test_is_free_at_large_timestamps(self):
+        # Regression: busy_until <= now + 1e-15 underflowed once now grew
+        # past ~1 s (double spacing at 1e9 is ~1.2e-7, so the absolute
+        # epsilon vanished and equal-after-rounding stayed "busy").
+        pool = ExecutorPool(1)
+        w = pool.workers[0]
+        now = 1e9
+        w.busy_until = now  # freed exactly "now", many ulps of slack needed
+        assert w.is_free(now)
+        # One representable step in the future is still busy.
+        assert not w.is_free(np.nextafter(now, -np.inf) - 1.0)
+
+    def test_is_free_small_timestamps_unchanged(self):
+        pool = ExecutorPool(1)
+        w = pool.workers[0]
+        w.busy_until = 2e-6
+        assert not w.is_free(1.9e-6)
+        assert w.is_free(2e-6)
+        assert w.is_free(2.1e-6)
+
+
+class TestScaleTo:
+    def test_scale_up_adds_prewarmed_workers(self):
+        pool = ExecutorPool(4)
+        pool.place("a", mlp(0), replicas=1, prewarm=True)
+        delta = pool.scale_to("a", 3, now=1.0, prewarm_latency_s=0.5)
+        assert pool.num_replicas("a") == 3
+        assert len(delta["added"]) == 2 and not delta["removed"]
+        for wid in delta["added"]:
+            w = pool.workers[wid]
+            # Cold additions are programmed and pay the reprogram window.
+            assert "a" in w.models_programmed
+            assert w.executor.cache_info()["size"] == 2
+            assert w.busy_until == pytest.approx(1.5)
+
+    def test_scale_up_warm_rejoin_is_free(self):
+        pool = ExecutorPool(2)
+        pool.place("a", mlp(0), replicas=2, prewarm=True)
+        pool.scale_to("a", 1, now=0.0)
+        delta = pool.scale_to("a", 2, now=5.0, prewarm_latency_s=0.7)
+        (wid,) = delta["added"]
+        # The worker still holds the programmed tiles: no reprogram charge,
+        # and it is not reported as a cold addition.
+        assert pool.workers[wid].busy_until == 0.0
+        assert delta["cold"] == []
+
+    def test_scale_down_drains_before_retire(self):
+        pool = ExecutorPool(3)
+        pool.place("a", mlp(0), replicas=3, prewarm=True)
+        victim = pool.replicas("a")[-1]
+        pool.workers[victim].busy_until = 9.0  # mid-batch
+        delta = pool.scale_to("a", 1, now=0.0)
+        # Last-added replicas retire first.
+        assert victim in delta["removed"] and len(delta["removed"]) == 2
+        # Retired worker keeps its booked window (in-flight batch finishes)
+        # but no longer receives new work.
+        assert pool.workers[victim].busy_until == 9.0
+        assert victim not in pool.replicas("a")
+        assert pool.route("a", 10.0).worker_id in pool.replicas("a")
+
+    def test_scale_clamps_and_unknown_model_raises(self):
+        pool = ExecutorPool(2)
+        pool.place("a", mlp(0), replicas=1)
+        pool.scale_to("a", 99, now=0.0)
+        assert pool.num_replicas("a") == 2
+        pool.scale_to("a", 0, now=0.0)
+        assert pool.num_replicas("a") == 1
+        with pytest.raises(KeyError):
+            pool.scale_to("ghost", 2, now=0.0)
+
+    def test_round_robin_state_survives_scale_down(self):
+        pool = ExecutorPool(3, policy="round_robin")
+        pool.place("a", mlp(0), replicas=3)
+        for _ in range(5):
+            pool.route("a", 0.0)
+        pool.scale_to("a", 1, now=0.0)
+        assert pool.route("a", 0.0).worker_id == pool.replicas("a")[0]
+
+
 class TestExecutionAndStats:
     def test_run_batch_outputs_and_booking(self):
         pool = ExecutorPool(1)

@@ -121,6 +121,65 @@ class TestMicroBatcher:
             BatchPolicy(max_batch_size=0)
         with pytest.raises(ValueError):
             BatchPolicy(max_wait_s=-1.0)
+        with pytest.raises(ValueError):
+            BatchPolicy(aging_rate_per_s=-0.1)
+
+    # ----- tie-breaking ------------------------------------------------
+    def test_tie_break_equal_urgency_earliest_deadline_wins(self):
+        q = AdmissionQueue(16)
+        mb = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.1))
+        # Same class, both past deadline: the longer-waiting head wins.
+        q.offer(InferenceRequest(0, "younger", np.zeros(1), 0.05))
+        q.offer(InferenceRequest(1, "older", np.zeros(1), 0.0))
+        assert mb.ready_model(q, 1.0) == "older"
+
+    def test_tie_break_equal_deadline_is_deterministic_by_name(self):
+        q = AdmissionQueue(16)
+        mb = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.1))
+        q.offer(InferenceRequest(0, "zeta", np.zeros(1), 0.0))
+        q.offer(InferenceRequest(1, "alpha", np.zeros(1), 0.0))
+        assert mb.ready_model(q, 1.0) == "alpha"
+
+    def test_higher_priority_preempts_dispatch_order(self):
+        q = AdmissionQueue(16)
+        mb = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.1))
+        # "bulk" has the earlier deadline, but "live" carries a higher
+        # class: urgency outranks deadline in the dispatch order.
+        q.offer(InferenceRequest(0, "bulk", np.zeros(1), 0.0, priority=0))
+        q.offer(InferenceRequest(1, "live", np.zeros(1), 0.5, priority=2))
+        assert mb.ready_model(q, 1.0) == "live"
+
+    def test_aging_lets_low_class_overtake(self):
+        q = AdmissionQueue(16)
+        mb = MicroBatcher(
+            BatchPolicy(max_batch_size=8, max_wait_s=0.1, aging_rate_per_s=1.0)
+        )
+        # After 10 s of waiting the class-0 head has aged +10 effective
+        # classes, overtaking the fresh class-2 arrival: no starvation.
+        q.offer(InferenceRequest(0, "bulk", np.zeros(1), 0.0, priority=0))
+        q.offer(InferenceRequest(1, "live", np.zeros(1), 9.9, priority=2))
+        assert mb.ready_model(q, 10.0) == "bulk"
+
+    def test_ready_deadline_tolerance_at_large_times(self):
+        # Regression: `dl <= now + 1e-15` failed once timestamps outgrew
+        # the absolute epsilon (double spacing at 1e9 s is ~1.2e-7 s).
+        q = AdmissionQueue(16)
+        mb = MicroBatcher(BatchPolicy(max_batch_size=8, max_wait_s=0.0))
+        q.offer(InferenceRequest(0, "m", np.zeros(1), 1e9))
+        assert mb.ready_model(q, 1e9) == "m"
+
+    def test_take_batch_orders_by_effective_priority(self):
+        q = AdmissionQueue(16)
+        mb = MicroBatcher(
+            BatchPolicy(max_batch_size=4, max_wait_s=0.0, aging_rate_per_s=0.0)
+        )
+        q.offer(InferenceRequest(0, "m", np.zeros(1), 0.0, priority=0))
+        q.offer(InferenceRequest(1, "m", np.zeros(1), 0.1, priority=2))
+        q.offer(InferenceRequest(2, "m", np.zeros(1), 0.2, priority=0))
+        q.offer(InferenceRequest(3, "m", np.zeros(1), 0.3, priority=2))
+        batch = mb.take_batch(q, "m", now=1.0)
+        # Class-descending, FIFO within class.
+        assert [r.request_id for r in batch] == [1, 3, 0, 2]
 
 
 class TestLayerShapes:
@@ -289,6 +348,43 @@ class TestRuntimeEndToEnd:
         report = rt.report(scen)
         assert report["analytic_consistency"]["max_abs_error_s"] == 0.0
         assert report["queue_depth"]["max"] <= 256
+
+    def test_drain_excluded_model_redispatches_on_worker_free(self):
+        # All replicas of "a" busy -> the batcher must exclude "a", keep
+        # serving other models, and re-dispatch "a" when the worker-free
+        # event fires (not strand the batch).
+        pool = ExecutorPool(2, policy="least_loaded")
+        rt = ServingRuntime(
+            pool, BatchPolicy(max_batch_size=2, max_wait_s=1e-8),
+            queue_capacity=64,
+        )
+        rt.register_model(ModelProfile("a", mlp(0), replicas=1))
+        rt.register_model(ModelProfile("b", mlp(1), replicas=1))
+        # Burst of "a" filling two batches back-to-back plus interleaved
+        # "b" traffic that must not be blocked while "a"'s replica is busy.
+        arrivals = tuple(
+            [(0.0, "a"), (0.0, "a"), (1e-9, "a"), (1e-9, "a")]
+            + [(2e-9, "b"), (2e-9, "b")]
+        )
+        scen = Scenario("burst", arrivals, 1e-7)
+        tel = rt.run(scen, seed=0)
+        assert len(tel.completed) == 6
+        a_batches = sorted(
+            {
+                (r.dispatch_time, r.completion_time)
+                for r in tel.completed
+                if r.model == "a"
+            }
+        )
+        assert len(a_batches) == 2
+        # Second "a" batch waited for the replica: dispatched exactly when
+        # the first batch's worker-free event fired.
+        assert a_batches[1][0] == pytest.approx(a_batches[0][1])
+        # "b" was not blocked behind the busy "a" replica.
+        b_dispatch = min(
+            r.dispatch_time for r in tel.completed if r.model == "b"
+        )
+        assert b_dispatch < a_batches[0][1]
 
     def test_multi_model_sharding(self):
         pool = ExecutorPool(2, policy="cache_affinity")

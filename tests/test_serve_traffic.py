@@ -5,12 +5,17 @@ import pytest
 
 from repro.serve import (
     SCENARIO_NAMES,
+    Priority,
     bursty_scenario,
     diurnal_scenario,
+    multi_tenant_priority_scenario,
     multi_tenant_scenario,
     poisson_scenario,
+    priority_scenario,
 )
 from repro.serve.traffic import (
+    _CHUNK,
+    assign_priorities,
     diurnal_arrivals,
     onoff_arrivals,
     poisson_arrivals,
@@ -61,6 +66,63 @@ class TestArrivalProcesses:
         with pytest.raises(ValueError):
             diurnal_arrivals(10.0, 5.0, 1.0, 1.0, np.random.default_rng(0))
 
+    # ----- regression: parameter validation & bounded memory -----------
+    def test_onoff_zero_on_s_raises_instead_of_looping(self):
+        # on_s == 0 used to never advance the window cursor: an infinite
+        # loop accumulating empty bursts.  Negative windows walked t
+        # backwards.  Both must be rejected up front.
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            onoff_arrivals(100.0, 0.0, 1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            onoff_arrivals(100.0, -1.0, 1.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            onoff_arrivals(100.0, 1.0, -0.5, 10.0, rng)
+
+    def test_onoff_zero_off_s_is_plain_poisson(self):
+        rng = np.random.default_rng(4)
+        times = onoff_arrivals(1000.0, 1.0, 0.0, 5.0, rng)
+        assert times.size == pytest.approx(5000, rel=0.1)
+        assert np.all(np.diff(times) >= 0) or times.size == 0
+
+    def test_diurnal_zero_period_raises(self):
+        # period == 0 divided by zero in the thinning phase (NaN keep
+        # probabilities); negative periods are meaningless.
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10.0, 20.0, 0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(10.0, 20.0, -1.0, 1.0, rng)
+
+    def test_poisson_chunk_draws_are_capped(self):
+        # rate * duration of 5e8 would previously allocate a ~6e8-entry
+        # exponential chunk per while-pass; the chunk cap keeps each draw
+        # at _CHUNK while trimming the horizon tail exactly.
+        rng = np.random.default_rng(6)
+        times = poisson_arrivals(rate=5e8, duration=2 * _CHUNK / 5e8, rng=rng)
+        assert times.size == pytest.approx(2 * _CHUNK, rel=0.05)
+        assert times[-1] < 2 * _CHUNK / 5e8
+        assert np.all(np.diff(times) >= 0)
+
+    def test_poisson_capped_chunks_stay_deterministic(self):
+        dur = 3.5 * _CHUNK / 1e6
+        a = poisson_arrivals(1e6, dur, np.random.default_rng(8))
+        b = poisson_arrivals(1e6, dur, np.random.default_rng(8))
+        assert np.array_equal(a, b)
+
+    def test_non_finite_parameters_rejected(self):
+        rng = np.random.default_rng(9)
+        with pytest.raises(ValueError):
+            poisson_arrivals(float("nan"), 1.0, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(float("inf"), 1.0, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(-5.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            onoff_arrivals(100.0, float("inf"), 0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(1.0, 2.0, float("nan"), 1.0, rng)
+
 
 class TestScenarios:
     def test_poisson_scenario_fields(self):
@@ -99,5 +161,75 @@ class TestScenarios:
 
     def test_canonical_names(self):
         assert set(SCENARIO_NAMES) == {
-            "poisson", "bursty", "diurnal", "multi_tenant"
+            "poisson", "bursty", "diurnal", "multi_tenant",
+            "priority", "multi_tenant_priority",
         }
+
+
+class TestPriorityScenarios:
+    def test_priority_scenario_mix_and_determinism(self):
+        mix = {Priority.INTERACTIVE: 1.0, Priority.BATCH: 3.0}
+        s = priority_scenario("m", rate=2000.0, duration=5.0,
+                              class_mix=mix, seed=7)
+        assert s.name == "priority"
+        assert s.priorities() == [Priority.BATCH, Priority.INTERACTIVE]
+        counts = {p: 0 for p in mix}
+        for _, _, p in s.arrivals:
+            counts[p] += 1
+        assert counts[Priority.BATCH] / s.num_requests == pytest.approx(
+            0.75, abs=0.05
+        )
+        again = priority_scenario("m", rate=2000.0, duration=5.0,
+                                  class_mix=mix, seed=7)
+        assert s.arrivals == again.arrivals
+
+    def test_priority_scenario_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            priority_scenario("m", 10.0, 1.0, class_mix={1: -1.0})
+
+    def test_multi_tenant_priority_scenario(self):
+        s = multi_tenant_priority_scenario(
+            {"hot": 3.0, "cold": 1.0},
+            rate=2000.0,
+            duration=5.0,
+            class_mix_by_model={
+                "hot": {Priority.INTERACTIVE: 1.0},
+            },
+            seed=11,
+        )
+        assert s.name == "multi_tenant_priority"
+        for arrival in s.arrivals:
+            t, model, p = arrival
+            if model == "hot":
+                assert p == Priority.INTERACTIVE
+            else:  # unlisted tenants send default-class traffic
+                assert p == 0
+        ts = [a[0] for a in s.arrivals]
+        assert ts == sorted(ts)
+
+    def test_multi_tenant_priority_two_mixed_tenants(self):
+        # Regression: the per-model tagging loop used to re-unpack
+        # already-tagged 3-tuples as pairs and crash when two or more
+        # tenants carried class mixes.
+        s = multi_tenant_priority_scenario(
+            {"a": 1.0, "b": 1.0},
+            rate=1000.0,
+            duration=2.0,
+            class_mix_by_model={
+                "a": {Priority.INTERACTIVE: 1.0},
+                "b": {Priority.BATCH: 1.0, Priority.STANDARD: 1.0},
+            },
+            seed=17,
+        )
+        for _, model, p in s.arrivals:
+            if model == "a":
+                assert p == Priority.INTERACTIVE
+            else:
+                assert p in (Priority.BATCH, Priority.STANDARD)
+
+    def test_assign_priorities_preserves_times_and_models(self):
+        rng = np.random.default_rng(13)
+        base = (((0.0, "a"), (1.0, "b"), (2.0, "a")))
+        tagged = assign_priorities(base, {0: 1.0, 2: 1.0}, rng)
+        assert tuple((t, m) for t, m, _ in tagged) == base
+        assert all(p in (0, 2) for _, _, p in tagged)
