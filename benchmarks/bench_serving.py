@@ -15,9 +15,11 @@ Drives the :mod:`repro.serve` deployment (admission queue → micro-batcher
 
 ``REPRO_SMOKE=1`` runs a tiny-trace fast pass (smaller rates, shorter
 horizons) that checks the machinery end to end without touching the
-committed JSON.
+committed JSON — and is the default in the plain test tier (the root
+conftest collects this module in smoke mode so it cannot silently rot);
+the full pass that regenerates the JSON runs under ``REPRO_FULL=1``.
 
-Run:  PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -s
+Run:  REPRO_FULL=1 PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -s
 """
 
 import json

@@ -1,0 +1,149 @@
+"""Continuous batching demo: token serving with paged KV and preemption.
+
+Quickstart::
+
+    from repro.nn import KVCacheSpec, Linear, Sequential, Tanh
+    from repro.serve import (DecodeModelProfile, EngineConfig,
+                             ExecutorPool, TokenServingEngine,
+                             decode_scenario)
+
+    profile = DecodeModelProfile(
+        "chat",
+        Sequential(Linear(48, 96), Tanh(), Linear(96, 48)),  # surrogate
+        KVCacheSpec(num_layers=4, num_heads=8, head_dim=16), # KV geometry
+        ttft_slo_s=2e-3,
+    )
+    engine = TokenServingEngine(
+        ExecutorPool(2), profile,
+        EngineConfig(max_batch_size=16, block_tokens=16, kv_fraction=0.25),
+    )
+    scenario = decode_scenario("chat", rate=1e9, duration=2e-7)
+    engine.run(scenario, seed=5)
+    report = engine.report(scenario)   # TTFT, TPOT, tokens/s, KV, …
+
+The engine re-forms the running batch at **every decode step**
+(Orca-style iteration-level scheduling): prefills are admitted as soon
+as a slot and KV blocks exist, finished sessions retire immediately,
+and when the block pool runs dry the youngest lowest-class session is
+preempted — its blocks are freed and it re-prefills when readmitted
+(vLLM-style recompute-on-resume).  Step costs come from the analytic
+``arch.inference`` decode model; execution is functional, so every
+session's token stream is bit-exact against decoding it alone.
+
+This script runs one mixed-length session trace through the continuous
+engine and the static request-level baseline, prints the throughput
+gap, then starves the KV pool to show priority-preemptive eviction.
+"""
+
+import numpy as np
+
+from repro.nn import KVCacheSpec, Linear, Sequential, Tanh
+from repro.serve import (
+    DecodeModelProfile,
+    EngineConfig,
+    ExecutorPool,
+    Priority,
+    TokenServingEngine,
+    decode_scenario,
+    sequential_decode_outputs,
+)
+
+
+def build_profile() -> DecodeModelProfile:
+    rng = np.random.default_rng(0)
+    model = Sequential(
+        Linear(48, 96, rng=rng), Tanh(), Linear(96, 48, rng=rng)
+    )
+    return DecodeModelProfile(
+        "chat",
+        model,
+        KVCacheSpec(num_layers=4, num_heads=8, head_dim=16),
+        ttft_slo_s=2e-3,
+    )
+
+
+def run_mode(scenario, continuous: bool, kv_fraction: float = 0.25):
+    engine = TokenServingEngine(
+        ExecutorPool(2),
+        build_profile(),
+        EngineConfig(
+            max_batch_size=16,
+            block_tokens=16,
+            kv_fraction=kv_fraction,
+            continuous=continuous,
+        ),
+    )
+    telemetry = engine.run(scenario, seed=5)
+    return engine, telemetry, engine.report(scenario)
+
+
+def main() -> None:
+    profile = build_profile()
+    scenario = decode_scenario(
+        "chat",
+        rate=8e8,
+        duration=2e-7,
+        prompt_median=24,
+        prompt_sigma=0.6,
+        decode_mean=16,
+        class_mix={Priority.BATCH: 4, Priority.INTERACTIVE: 1},
+        prompt_max=96,
+        decode_max=96,
+        seed=11,
+    )
+    print(
+        f"decode trace: {scenario.num_requests} sessions, "
+        f"mixed prompts/decodes, classes {scenario.priorities()}"
+    )
+
+    print("\n== continuous vs static request-level batching ==")
+    reports = {}
+    telemetries = {}
+    for mode, continuous in (("continuous", True), ("static", False)):
+        engine, telemetries[mode], reports[mode] = run_mode(scenario, continuous)
+        rep = reports[mode]
+        print(
+            f"  {mode:11s} tokens/s={rep['tokens_per_s']:.3e} "
+            f"batch~{rep['mean_batch_size']:.1f} "
+            f"ttft_p99={rep['ttft']['p99_s']:.2e}s "
+            f"tpot={rep['tpot_s']:.2e}s "
+            f"kv_peak={rep['kv']['peak_occupancy']:.2f}"
+        )
+    gain = reports["continuous"]["tokens_per_s"] / reports["static"]["tokens_per_s"]
+    print(f"  continuous batching sustained {gain:.2f}x the token throughput")
+
+    reference = sequential_decode_outputs(profile, scenario, seed=5)
+    exact = all(
+        np.array_equal(out, ref)
+        for s in telemetries["continuous"].sessions
+        for out, ref in zip(s.outputs, reference[s.session_id])
+    )
+    check = reports["continuous"]["analytic_consistency"]
+    print(
+        f"  per-token outputs bit-exact vs batch-1 decode: {exact}; "
+        f"analytic cross-check max drift {check['max_abs_error_s']:.1e}s "
+        f"over {check['checked_steps']} steps"
+    )
+
+    print("\n== KV pressure: priority-preemptive eviction ==")
+    _, _, pressured = run_mode(scenario, True, kv_fraction=0.0625)
+    print(
+        f"  starved block pool: {pressured['preemptions']} preemptions, "
+        f"kv_peak={pressured['kv']['peak_occupancy']:.2f}"
+    )
+    for cls, row in sorted(pressured.get("per_class", {}).items()):
+        label = {0: "batch", 1: "standard", 2: "interactive"}.get(int(cls), cls)
+        print(
+            f"    class {cls} ({label:11s}) sessions={row['sessions']:4d} "
+            f"preempted={row['preemptions']:3d} "
+            f"ttft_p99={row['ttft_p99_s']:.2e}s "
+            f"slo={row['ttft_slo_attainment']:.3f}"
+        )
+    print(
+        "  interactive sessions evict batch-class KV blocks, so their "
+        "first token stays fast under memory pressure"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,14 @@ Inference runs the forward GEMMs only.  Throughput is reported as
 inferences per second (IPS), IPS/W and IPS/mm² for ResNet50 and AlexNet at
 batch 1 — matching the published accelerator numbers the paper compares
 against, which are reproduced here as reference constants.
+
+Besides the one-shot forward-pass helpers, this module carries the
+autoregressive-decode latency model the token serving engine
+(:mod:`repro.serve.engine`) dispatches against:
+:func:`decode_step_latency` prices one iteration-level decode step (one
+token per running session, attention read over each session's KV
+context) and :func:`prefill_latency` prices the prompt pass that builds
+a session's KV state.
 """
 
 from __future__ import annotations
@@ -15,13 +23,16 @@ from .accelerator import MirageAccelerator
 from .area import mirage_footprint_area
 from .dataflow import MIRAGE_DATAFLOWS, schedule_opt2
 from .latency import mirage_latency_fn
-from .workloads import LayerShape, TrainingGemm, training_gemms, workload
+from .workloads import GemmShape, LayerShape, TrainingGemm, training_gemms, workload
 
 __all__ = [
+    "attention_token_latency",
+    "decode_step_latency",
     "inference_latency",
     "inference_metrics",
     "microbatch_latency",
     "per_request_latency",
+    "prefill_latency",
     "PUBLISHED_INFERENCE_ACCELERATORS",
     "table3_rows",
 ]
@@ -35,10 +46,19 @@ def inference_latency(
     layers: Sequence[LayerShape],
     accelerator: Optional[MirageAccelerator] = None,
 ) -> float:
-    """Seconds for one forward pass (OPT2 dataflow over forward GEMMs)."""
+    """Seconds for one forward pass (OPT2 dataflow over forward GEMMs).
+
+    An empty layer list (or one with no forward GEMMs) is rejected: a
+    silent 0.0 here used to propagate into serving dispatch as a
+    zero-length busy window, which reads as infinite throughput.
+    """
     accelerator = accelerator or MirageAccelerator()
     fn = mirage_latency_fn(accelerator.config)
     gemms = _forward_gemms(layers)
+    if not gemms:
+        raise ValueError(
+            "layers contain no forward GEMMs to price (empty layer list?)"
+        )
     total = 0.0
     for tg in gemms:
         total += min(fn(tg, df) for df in MIRAGE_DATAFLOWS)
@@ -74,8 +94,9 @@ def microbatch_latency(
 ) -> float:
     """Seconds to serve one micro-batch whose size is baked into ``layers``.
 
-    Identical to :func:`inference_latency`; the alias exists so serving
-    code reads as what it means (the batch dimension lives inside each
+    Identical to :func:`inference_latency` (including the explicit
+    rejection of empty layer lists); the alias exists so serving code
+    reads as what it means (the batch dimension lives inside each
     layer's ``GemmShape.n``, per the im2col convention).
     """
     return inference_latency(layers, accelerator)
@@ -106,6 +127,137 @@ def per_request_latency(
         "batch_latency_s": batch_s,
         "per_request_s": per_request_s,
     }
+
+
+# ----------------------------------------------------------------------
+# Autoregressive decode (token serving engine)
+# ----------------------------------------------------------------------
+def _check_kv_spec(kv) -> None:
+    """``kv`` is duck-typed (``repro.nn.attention.KVCacheSpec`` in
+    practice; ``arch`` stays import-independent of ``nn``)."""
+    for attr in ("num_layers", "num_heads", "head_dim"):
+        value = getattr(kv, attr, None)
+        if not isinstance(value, int) or value < 1:
+            raise ValueError(
+                f"kv.{attr} must be a positive int, got {value!r}"
+            )
+
+
+def attention_token_latency(
+    kv,
+    context_len: int,
+    accelerator: Optional[MirageAccelerator] = None,
+) -> float:
+    """Seconds of attention work to decode **one token** of one session.
+
+    Per transformer layer and head, the new query reads its KV context:
+    a score GEMM ``(1, head_dim) @ (head_dim, L)`` and a context GEMM
+    ``(1, L) @ (L, head_dim)`` with ``L = context_len`` — the part of a
+    decode step that grows with the session's sequence length (the
+    token-parallel projections are priced separately by
+    :func:`decode_step_latency`).  All heads and layers ride in one GEMM
+    descriptor via ``count = num_layers * num_heads``, whose tiles the
+    latency model spreads across the ``num_arrays`` RNS-MMVMUs.
+    """
+    _check_kv_spec(kv)
+    if context_len < 1:
+        raise ValueError(f"context_len must be >= 1, got {context_len}")
+    count = kv.num_layers * kv.num_heads
+    layers = [
+        LayerShape(
+            "decode.scores",
+            GemmShape(1, kv.head_dim, context_len, count=count),
+            "attention",
+        ),
+        LayerShape(
+            "decode.context",
+            GemmShape(1, context_len, kv.head_dim, count=count),
+            "attention",
+        ),
+    ]
+    return inference_latency(layers, accelerator)
+
+
+def decode_step_latency(
+    layers: Sequence[LayerShape],
+    context_lens: Sequence[int],
+    kv=None,
+    accelerator: Optional[MirageAccelerator] = None,
+) -> Dict[str, float]:
+    """Price one iteration-level decode step of a continuous batch.
+
+    ``layers`` are the model's token-parallel GEMMs shaped at
+    ``batch = len(context_lens)`` (one new token per running session);
+    ``context_lens[i]`` is session *i*'s resident KV length, each adding
+    the per-session attention read of :func:`attention_token_latency`.
+    ``kv=None`` models a KV-free network (pure MLP surrogate): the step
+    is just the batched token GEMMs.
+
+    The attention term sums in ``context_lens`` order with a per-``L``
+    memo, so a caller that memoises :func:`attention_token_latency` per
+    distinct length and sums in the same order reproduces this number
+    bit-exactly — that is the serving engine's cross-check contract.
+    """
+    batch = len(context_lens)
+    if batch < 1:
+        raise ValueError("context_lens must name at least one session")
+    accelerator = accelerator or MirageAccelerator()
+    token_parallel_s = microbatch_latency(layers, accelerator)
+    attention_s = 0.0
+    if kv is not None:
+        per_len: Dict[int, float] = {}
+        for length in context_lens:
+            if length not in per_len:
+                per_len[length] = attention_token_latency(
+                    kv, length, accelerator
+                )
+            attention_s += per_len[length]
+    step_s = token_parallel_s + attention_s
+    return {
+        "batch": float(batch),
+        "token_parallel_s": token_parallel_s,
+        "attention_s": attention_s,
+        "step_latency_s": step_s,
+        "per_token_s": step_s / batch,
+    }
+
+
+def prefill_latency(
+    layers: Sequence[LayerShape],
+    prompt_len: int,
+    kv=None,
+    accelerator: Optional[MirageAccelerator] = None,
+) -> float:
+    """Seconds to run a session's prompt pass and build its KV state.
+
+    ``layers`` are the model's GEMMs shaped at ``batch = prompt_len``
+    (all prompt tokens stream token-parallel, which is why prefill is
+    throughput-bound while decode is latency-bound), plus the quadratic
+    attention over the prompt: per layer and head a
+    ``(P, head_dim) @ (head_dim, P)`` score GEMM and a
+    ``(P, P) @ (P, head_dim)`` context GEMM.
+    """
+    if prompt_len < 1:
+        raise ValueError(f"prompt_len must be >= 1, got {prompt_len}")
+    accelerator = accelerator or MirageAccelerator()
+    total = microbatch_latency(layers, accelerator)
+    if kv is not None:
+        _check_kv_spec(kv)
+        count = kv.num_layers * kv.num_heads
+        attn = [
+            LayerShape(
+                "prefill.scores",
+                GemmShape(prompt_len, kv.head_dim, prompt_len, count=count),
+                "attention",
+            ),
+            LayerShape(
+                "prefill.context",
+                GemmShape(prompt_len, prompt_len, kv.head_dim, count=count),
+                "attention",
+            ),
+        ]
+        total += inference_latency(attn, accelerator)
+    return total
 
 
 # Published numbers reproduced from Table III (reference constants; the

@@ -11,7 +11,8 @@ onto Mirage.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -21,11 +22,13 @@ from .quantized import QuantizedLinear, quantized_matmul
 from .tensor import Tensor
 
 __all__ = [
+    "KVCacheSpec",
     "MultiHeadAttention",
     "TransformerEncoderLayer",
     "TransformerDecoderLayer",
     "positional_encoding",
     "causal_mask",
+    "kv_cache_bytes_per_token",
 ]
 
 
@@ -42,6 +45,87 @@ def causal_mask(length: int) -> np.ndarray:
     """Additive mask hiding future positions: 0 on/below diag, -inf above."""
     mask = np.triu(np.full((length, length), -1e9), k=1)
     return mask
+
+
+def kv_cache_bytes_per_token(
+    dim: int,
+    num_heads: int,
+    num_layers: int,
+    bytes_per_element: int = 2,
+) -> int:
+    """Bytes of KV state one decoded token pins across a whole model.
+
+    Every layer keeps the token's key **and** value rows — ``2 * dim``
+    elements per layer (``dim = num_heads * head_dim``).  This is the
+    per-token growth rate the serving engine's KV-cache manager charges
+    against the accelerator's SRAM budget.
+    """
+    if dim < 1 or num_heads < 1 or num_layers < 1 or bytes_per_element < 1:
+        raise ValueError(
+            "dim, num_heads, num_layers and bytes_per_element must be >= 1, "
+            f"got {dim}/{num_heads}/{num_layers}/{bytes_per_element}"
+        )
+    if dim % num_heads:
+        raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+    return 2 * num_layers * dim * bytes_per_element
+
+
+@dataclass(frozen=True)
+class KVCacheSpec:
+    """Shape of one model's KV cache, per token and per session.
+
+    The functional serving surrogate may be a plain MLP; this spec is
+    what ties its *analytic* decode cost and memory footprint to the
+    attention geometry it stands in for — the serving engine prices each
+    decode step with :func:`repro.arch.inference.decode_step_latency`
+    and sizes its block allocator from :meth:`bytes_per_token`.
+    ``bytes_per_element=2`` matches a 16-bit KV residency format.
+    """
+
+    num_layers: int
+    num_heads: int
+    head_dim: int
+    bytes_per_element: int = 2
+
+    def __post_init__(self):
+        for name in ("num_layers", "num_heads", "head_dim", "bytes_per_element"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive int, got {value!r}")
+
+    @property
+    def dim(self) -> int:
+        return self.num_heads * self.head_dim
+
+    @property
+    def bytes_per_token(self) -> int:
+        return kv_cache_bytes_per_token(
+            self.dim, self.num_heads, self.num_layers, self.bytes_per_element
+        )
+
+    def kv_shape(self, context_len: int) -> Tuple[int, int, int, int, int]:
+        """Array shape of a session's cache at ``context_len`` tokens:
+        ``(num_layers, 2, num_heads, context_len, head_dim)`` (the 2 is
+        K and V)."""
+        if context_len < 0:
+            raise ValueError(f"context_len must be >= 0, got {context_len}")
+        return (self.num_layers, 2, self.num_heads, context_len, self.head_dim)
+
+    def kv_bytes(self, context_len: int) -> int:
+        """Total resident bytes of a session at ``context_len`` tokens."""
+        if context_len < 0:
+            raise ValueError(f"context_len must be >= 0, got {context_len}")
+        return context_len * self.bytes_per_token
+
+    @classmethod
+    def for_attention(
+        cls,
+        attn: "MultiHeadAttention",
+        num_layers: int,
+        bytes_per_element: int = 2,
+    ) -> "KVCacheSpec":
+        """Spec matching a :class:`MultiHeadAttention` stacked ``num_layers`` deep."""
+        return cls(num_layers, attn.num_heads, attn.head_dim, bytes_per_element)
 
 
 class MultiHeadAttention(Module):

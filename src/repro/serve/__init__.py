@@ -8,10 +8,60 @@ photonic cores with SLO-driven replica autoscaling, synthetic traffic
 scenarios on a deterministic simulated clock, and telemetry (including
 per-priority-class SLO attainment) cross-checked against the analytic
 ``repro.arch`` latency model.
+
+Architecture
+------------
+Two execution models share the same substrate (clock, traffic, pool,
+telemetry cross-check discipline):
+
+* **Request-level** (:class:`ServingRuntime`) — one-shot forward passes.
+  Arrivals enter the bounded :class:`AdmissionQueue` (per model *and*
+  priority class, shedding the lowest class first), the
+  :class:`MicroBatcher` coalesces compatible requests on size/deadline
+  triggers, and each micro-batch dispatches through an
+  :class:`ExecutorPool` replica as one batched GEMM stream, with the
+  :class:`Autoscaler` growing/draining replica sets against windowed
+  p99-vs-SLO.
+
+* **Token-level** (:mod:`repro.serve.engine`) — autoregressive decode,
+  where a request is a :class:`~repro.serve.engine.DecodeSession` whose
+  KV state grows with every generated token::
+
+      decode_scenario ──> waiting queues (per priority class)
+                              │ admit prefills (KV blocks permitting)
+                              ▼
+      TokenServingEngine ── re-forms the running batch EVERY step:
+          │    admit / retire / preempt-low-class-under-KV-pressure
+          │
+          ├─> KVBlockManager   block-granular residency, budget derived
+          │                    from MemorySystemModel / MirageConfig;
+          │                    preempted sessions requeue and re-prefill
+          ▼
+      ExecutorPool worker ── one batched GEMM stream per decode step
+          (functional surrogate recurrence: per-token outputs bit-exact
+          vs batch-1), clock advanced by arch.inference's
+          decode_step_latency / prefill_latency; EngineTelemetry scores
+          TTFT, TPOT, tokens/s, KV occupancy and per-class TTFT SLO.
+
+The engine is why mixed-length decode traffic keeps the accelerator
+busy: request-level batching would pad every batch to its slowest
+member and pin worst-case KV for the whole ride (measured as the
+``continuous``-vs-``static`` gap in ``benchmarks/bench_continuous.py``).
 """
 
 from .batcher import BatchPolicy, MicroBatcher
 from .clock import SimulatedClock, time_at_or_before, time_tolerance
+from .engine import (
+    DecodeModelProfile,
+    DecodeServiceModel,
+    DecodeSession,
+    EngineConfig,
+    KVBlockManager,
+    TokenServingEngine,
+    build_sessions,
+    next_token_input,
+    sequential_decode_outputs,
+)
 from .pool import ExecutorPool, PoolWorker, ROUTING_POLICIES
 from .request import AdmissionQueue, InferenceRequest, Priority, RequestStatus
 from .runtime import (
@@ -23,12 +73,15 @@ from .runtime import (
     infer_input_dim,
     model_layer_shapes,
 )
-from .telemetry import Telemetry, percentile, summarize_latencies
+from .telemetry import EngineTelemetry, Telemetry, percentile, summarize_latencies
 from .traffic import (
     SCENARIO_NAMES,
     Scenario,
     bursty_scenario,
+    decode_scenario,
     diurnal_scenario,
+    geometric_lengths,
+    lognormal_lengths,
     multi_tenant_priority_scenario,
     multi_tenant_scenario,
     poisson_scenario,
@@ -40,8 +93,14 @@ __all__ = [
     "Autoscaler",
     "AutoscalerPolicy",
     "BatchPolicy",
+    "DecodeModelProfile",
+    "DecodeServiceModel",
+    "DecodeSession",
+    "EngineConfig",
+    "EngineTelemetry",
     "ExecutorPool",
     "InferenceRequest",
+    "KVBlockManager",
     "MicroBatcher",
     "ModelProfile",
     "PoolWorker",
@@ -54,15 +113,22 @@ __all__ = [
     "ServingRuntime",
     "SimulatedClock",
     "Telemetry",
+    "TokenServingEngine",
+    "build_sessions",
     "bursty_scenario",
+    "decode_scenario",
     "diurnal_scenario",
+    "geometric_lengths",
     "infer_input_dim",
+    "lognormal_lengths",
     "model_layer_shapes",
     "multi_tenant_priority_scenario",
     "multi_tenant_scenario",
+    "next_token_input",
     "percentile",
     "poisson_scenario",
     "priority_scenario",
+    "sequential_decode_outputs",
     "summarize_latencies",
     "time_at_or_before",
     "time_tolerance",

@@ -1,0 +1,41 @@
+"""Autoregressive token serving engine (continuous batching over KV blocks).
+
+The execution model is token-granular, not request-granular: arrivals
+are :class:`DecodeSession`\\ s (prompt length, decode length, priority
+class), a :class:`KVBlockManager` pages their growing KV state inside a
+budget derived from the accelerator's analytic memory model, and the
+:class:`TokenServingEngine` re-forms the running batch **every decode
+step** — admitting prefills, retiring finished sessions, and preempting
+low-class sessions under KV pressure — dispatching each step as one
+batched GEMM stream through the weight-static executor pool.
+
+See :mod:`repro.serve` for how this sits next to the request-level
+runtime, and ``benchmarks/bench_continuous.py`` for the headline
+comparison against static request-level batching.
+"""
+
+from .kvcache import KVBlockManager
+from .scheduler import (
+    DecodeServiceModel,
+    EngineConfig,
+    TokenServingEngine,
+    sequential_decode_outputs,
+)
+from .session import (
+    DecodeModelProfile,
+    DecodeSession,
+    build_sessions,
+    next_token_input,
+)
+
+__all__ = [
+    "DecodeModelProfile",
+    "DecodeServiceModel",
+    "DecodeSession",
+    "EngineConfig",
+    "KVBlockManager",
+    "TokenServingEngine",
+    "build_sessions",
+    "next_token_input",
+    "sequential_decode_outputs",
+]

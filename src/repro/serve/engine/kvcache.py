@@ -1,0 +1,189 @@
+"""Block-granular KV-cache memory manager (vLLM-style paging, analytic).
+
+The engine tracks each session's KV residency in fixed-size **blocks**
+of ``block_tokens`` tokens — allocation, per-token growth and release
+all move whole blocks, so fragmentation is bounded to one partial block
+per session and "does this prefill fit" is a single integer compare.
+
+Capacity is not a free parameter: :meth:`KVBlockManager.from_memory_model`
+derives the block budget from the accelerator's analytic memory system
+(:class:`~repro.arch.memory.MemorySystemModel` over
+:class:`~repro.arch.config.MirageConfig`): a ``kv_fraction`` share of
+the per-type SRAM (the activation array holds KV between decode steps)
+divided by the model's per-token KV footprint
+(:class:`~repro.nn.attention.KVCacheSpec.bytes_per_token`).  The
+scheduler preempts low-priority sessions when a grow or prefill cannot
+be served — the manager itself only accounts, it never exceeds its
+budget (``used_blocks <= num_blocks`` is an invariant the benchmarks
+assert).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...arch.memory import MemorySystemModel
+from ...nn.attention import KVCacheSpec
+
+__all__ = ["KVBlockManager"]
+
+
+class KVBlockManager:
+    """Block allocator for session KV state with occupancy telemetry."""
+
+    def __init__(
+        self,
+        num_blocks: int,
+        block_tokens: int,
+        bytes_per_token: Optional[int] = None,
+    ):
+        if num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
+        if block_tokens < 1:
+            raise ValueError(f"block_tokens must be >= 1, got {block_tokens}")
+        if bytes_per_token is not None and bytes_per_token < 1:
+            raise ValueError(
+                f"bytes_per_token must be >= 1, got {bytes_per_token}"
+            )
+        self.num_blocks = num_blocks
+        self.block_tokens = block_tokens
+        self.bytes_per_token = bytes_per_token
+        self._tokens: Dict[int, int] = {}  # session_id -> resident tokens
+        self._blocks: Dict[int, int] = {}  # session_id -> blocks held
+        self.used_blocks = 0
+        self.peak_blocks = 0
+        self.reserves = 0
+        self.releases = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_memory_model(
+        cls,
+        kv: KVCacheSpec,
+        memory: Optional[MemorySystemModel] = None,
+        block_tokens: int = 16,
+        kv_fraction: float = 0.5,
+    ) -> "KVBlockManager":
+        """Size the block pool from the analytic memory model.
+
+        ``kv_fraction`` is the share of one SRAM type's capacity
+        (``MirageConfig.sram_bytes``) granted to KV residency; the rest
+        stays working memory for the streaming activations the
+        interleaved digital pipeline reads each cycle.
+        """
+        if not 0.0 < kv_fraction <= 1.0:
+            raise ValueError(
+                f"kv_fraction must be in (0, 1], got {kv_fraction}"
+            )
+        memory = memory or MemorySystemModel()
+        budget_bytes = int(memory.config.sram_bytes * kv_fraction)
+        block_bytes = block_tokens * kv.bytes_per_token
+        num_blocks = budget_bytes // block_bytes
+        if num_blocks < 1:
+            raise ValueError(
+                f"KV budget {budget_bytes} B cannot hold one "
+                f"{block_bytes} B block (block_tokens={block_tokens}, "
+                f"bytes/token={kv.bytes_per_token}); shrink the model or "
+                "the block size"
+            )
+        return cls(num_blocks, block_tokens, bytes_per_token=kv.bytes_per_token)
+
+    # ------------------------------------------------------------------
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` tokens (ceiling division)."""
+        if tokens < 0:
+            raise ValueError(f"tokens must be >= 0, got {tokens}")
+        return -(-tokens // self.block_tokens)
+
+    @property
+    def free_blocks(self) -> int:
+        return self.num_blocks - self.used_blocks
+
+    def holds(self, session_id: int) -> bool:
+        return session_id in self._blocks
+
+    def resident_tokens(self, session_id: int) -> int:
+        return self._tokens.get(session_id, 0)
+
+    def occupancy(self) -> float:
+        return self.used_blocks / self.num_blocks
+
+    @property
+    def budget_bytes(self) -> Optional[int]:
+        if self.bytes_per_token is None:
+            return None
+        return self.num_blocks * self.block_tokens * self.bytes_per_token
+
+    def used_bytes(self) -> Optional[int]:
+        """Bytes actually pinned by resident tokens (sub-block exact)."""
+        if self.bytes_per_token is None:
+            return None
+        return sum(self._tokens.values()) * self.bytes_per_token
+
+    # ------------------------------------------------------------------
+    def can_reserve(self, tokens: int) -> bool:
+        return self.blocks_for(tokens) <= self.free_blocks
+
+    def reserve(self, session_id: int, tokens: int) -> bool:
+        """Allocate a fresh residency of ``tokens`` tokens (prefill).
+
+        Returns False (allocating nothing) when the pool cannot hold it
+        — the scheduler then decides between waiting and preempting.
+        """
+        if session_id in self._blocks:
+            raise ValueError(f"session {session_id} already holds KV blocks")
+        need = self.blocks_for(tokens)
+        if need > self.free_blocks:
+            return False
+        self._tokens[session_id] = tokens
+        self._blocks[session_id] = need
+        self.used_blocks += need
+        self.peak_blocks = max(self.peak_blocks, self.used_blocks)
+        self.reserves += 1
+        return True
+
+    def grow_to(self, session_id: int, tokens: int) -> bool:
+        """Extend a session's residency to ``tokens`` tokens (decode).
+
+        Most decode steps stay inside the session's last partial block
+        and cost nothing; crossing a block boundary claims one more
+        block.  Returns False (state unchanged) when the pool is out of
+        blocks — the preemption trigger.
+        """
+        if session_id not in self._blocks:
+            raise KeyError(f"session {session_id} holds no KV blocks")
+        if tokens < self._tokens[session_id]:
+            raise ValueError(
+                f"KV residency cannot shrink: {tokens} < "
+                f"{self._tokens[session_id]} (release and re-prefill instead)"
+            )
+        extra = self.blocks_for(tokens) - self._blocks[session_id]
+        if extra > self.free_blocks:
+            return False
+        self._tokens[session_id] = tokens
+        self._blocks[session_id] += extra
+        self.used_blocks += extra
+        self.peak_blocks = max(self.peak_blocks, self.used_blocks)
+        return True
+
+    def release(self, session_id: int) -> int:
+        """Free a session's blocks (finish or preemption); returns count."""
+        if session_id not in self._blocks:
+            raise KeyError(f"session {session_id} holds no KV blocks")
+        freed = self._blocks.pop(session_id)
+        del self._tokens[session_id]
+        self.used_blocks -= freed
+        self.releases += 1
+        return freed
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        return {
+            "num_blocks": self.num_blocks,
+            "block_tokens": self.block_tokens,
+            "used_blocks": self.used_blocks,
+            "peak_blocks": self.peak_blocks,
+            "peak_occupancy": self.peak_blocks / self.num_blocks,
+            "reserves": self.reserves,
+            "releases": self.releases,
+        }

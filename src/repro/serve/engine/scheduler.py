@@ -1,0 +1,534 @@
+"""Iteration-level scheduler: continuous batching over the executor pool.
+
+:class:`TokenServingEngine` is the Orca-style serving loop: the running
+batch is **re-formed at every decode step** instead of once per request
+batch.  Each step it
+
+1. admits waiting sessions (highest class first, FIFO within a class) as
+   long as decode slots and KV blocks allow — prefills ride along with
+   the running batch's next token, paying the analytic
+   :func:`~repro.arch.inference.prefill_latency`;
+2. grows every running session's KV residency by one token, **preempting
+   the youngest lowest-class session** when the block pool runs dry
+   (its blocks are freed, it requeues at the head of its class, and it
+   re-prefills prompt + generated tokens when readmitted — the
+   recompute-on-resume cost of paged KV serving);
+3. dispatches the step as **one batched GEMM stream** through a
+   weight-static :class:`~repro.serve.pool.ExecutorPool` worker — the
+   functional surrogate recurrence really executes, so per-token outputs
+   are bit-exact against sequential batch-1 decode — while simulated
+   time advances by :func:`~repro.arch.inference.decode_step_latency`
+   (token-parallel GEMMs at the batch size plus each session's
+   attention read over its context);
+4. retires finished sessions immediately, freeing their blocks for the
+   next admission.
+
+``EngineConfig(continuous=False)`` degenerates the same loop into the
+classic **static request-level** baseline: admission only when the batch
+has fully drained, worst-case KV reserved up front, finished sessions
+pad the batch until the longest member completes — the regime whose
+wasted slots and dead reservations continuous batching exists to
+reclaim (the ``bench_continuous`` headline).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...arch.accelerator import MirageAccelerator
+from ...arch.inference import (
+    attention_token_latency,
+    decode_step_latency,
+    prefill_latency,
+)
+from ...arch.memory import MemorySystemModel
+from ...core.pipeline import PhotonicExecutor
+from ..clock import SimulatedClock
+from ..pool import ExecutorPool
+from ..request import RequestStatus
+from ..runtime import ModelProfile, ServiceModel, model_layer_shapes
+from ..telemetry import EngineTelemetry
+from ..traffic import Scenario
+from .kvcache import KVBlockManager
+from .session import (
+    DecodeModelProfile,
+    DecodeSession,
+    build_sessions,
+    next_token_input,
+)
+
+__all__ = [
+    "DecodeServiceModel",
+    "EngineConfig",
+    "TokenServingEngine",
+    "sequential_decode_outputs",
+]
+
+
+class DecodeServiceModel(ServiceModel):
+    """Analytic decode/prefill pricing, memoised for the engine hot loop.
+
+    Extends :class:`~repro.serve.runtime.ServiceModel` (token-parallel
+    batch GEMMs per (model, batch)) with two more memos: the per-token
+    attention read per (model, context_len) and the prompt prefill per
+    (model, prompt_len).  All three reduce to ``arch.inference`` calls,
+    and the accumulation order mirrors :func:`decode_step_latency`
+    exactly, so the telemetry cross-check reproduces every recorded
+    step latency bit-for-bit from scratch.
+    """
+
+    def __init__(self, accelerator: Optional[MirageAccelerator] = None):
+        super().__init__(accelerator)
+        self._kv: Dict[str, object] = {}
+        self._attn_cache: Dict[Tuple[str, int], float] = {}
+        self._prefill_cache: Dict[Tuple[str, int], float] = {}
+
+    def register_decode(self, profile: DecodeModelProfile) -> None:
+        self.register(ModelProfile(profile.name, profile.model))
+        self._kv[profile.name] = profile.kv
+        for key in [k for k in self._attn_cache if k[0] == profile.name]:
+            del self._attn_cache[key]
+        for key in [k for k in self._prefill_cache if k[0] == profile.name]:
+            del self._prefill_cache[key]
+
+    def kv_spec(self, model: str):
+        return self._kv[model]
+
+    def attention_latency(self, model: str, context_len: int) -> float:
+        key = (model, context_len)
+        if key not in self._attn_cache:
+            self._attn_cache[key] = attention_token_latency(
+                self._kv[model], context_len, self.accelerator
+            )
+        return self._attn_cache[key]
+
+    def step_latency(self, model: str, context_lens: Sequence[int]) -> float:
+        """One decode step: batched token GEMMs + per-session KV reads."""
+        token_s = self.batch_latency(model, len(context_lens))
+        attention_s = 0.0
+        for length in context_lens:
+            attention_s += self.attention_latency(model, length)
+        return token_s + attention_s
+
+    def prefill(self, model: str, prompt_len: int) -> float:
+        key = (model, prompt_len)
+        if key not in self._prefill_cache:
+            profile = self._profiles[model]
+            shapes = model_layer_shapes(
+                model, profile.model, prompt_len, profile.input_hw
+            )
+            self._prefill_cache[key] = prefill_latency(
+                shapes, prompt_len, self._kv[model], self.accelerator
+            )
+        return self._prefill_cache[key]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the token serving engine.
+
+    ``continuous=False`` switches the loop to the static request-level
+    baseline (admission only on a drained batch, worst-case KV reserved
+    up front, finished sessions pad until the batch completes).
+    ``preemption`` gates *admission-driven* priority preemption; KV-
+    pressure requeue during decode growth is always allowed (the loop
+    cannot deadlock on a full pool).
+    """
+
+    max_batch_size: int = 16
+    max_prefills_per_step: int = 4
+    block_tokens: int = 16
+    kv_fraction: float = 0.5
+    preemption: bool = True
+    continuous: bool = True
+    execute: bool = True
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_prefills_per_step < 1:
+            raise ValueError(
+                "max_prefills_per_step must be >= 1, got "
+                f"{self.max_prefills_per_step}"
+            )
+        if self.block_tokens < 1:
+            raise ValueError(
+                f"block_tokens must be >= 1, got {self.block_tokens}"
+            )
+        if not 0.0 < self.kv_fraction <= 1.0:
+            raise ValueError(
+                f"kv_fraction must be in (0, 1], got {self.kv_fraction}"
+            )
+
+
+class TokenServingEngine:
+    """One autoregressive serving deployment: sessions → steps → tokens.
+
+    Use one engine instance per scenario run (KV state, worker windows
+    and telemetry persist across steps within a run, deliberately).
+    """
+
+    def __init__(
+        self,
+        pool: ExecutorPool,
+        profile: DecodeModelProfile,
+        config: Optional[EngineConfig] = None,
+        accelerator: Optional[MirageAccelerator] = None,
+        memory: Optional[MemorySystemModel] = None,
+    ):
+        self.pool = pool
+        self.profile = profile
+        self.config = config or EngineConfig()
+        self.service = DecodeServiceModel(accelerator)
+        self.service.register_decode(profile)
+        memory = memory or MemorySystemModel(self.service.accelerator.config)
+        self.kv = KVBlockManager.from_memory_model(
+            profile.kv,
+            memory=memory,
+            block_tokens=self.config.block_tokens,
+            kv_fraction=self.config.kv_fraction,
+        )
+        self.clock = SimulatedClock()
+        self.telemetry = EngineTelemetry()
+        pool.place(
+            profile.name, profile.model, replicas=profile.replicas, prewarm=True
+        )
+        self._admit_seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Waiting-queue helpers (per-class FIFO, preempted resume at head)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _waiting_any(waiting: Dict[int, Deque[DecodeSession]]) -> bool:
+        return any(waiting.values())
+
+    @staticmethod
+    def _waiting_head(
+        waiting: Dict[int, Deque[DecodeSession]]
+    ) -> Optional[DecodeSession]:
+        for priority in sorted(waiting, reverse=True):
+            if waiting[priority]:
+                return waiting[priority][0]
+        return None
+
+    def _requeue_preempted(
+        self,
+        session: DecodeSession,
+        waiting: Dict[int, Deque[DecodeSession]],
+        running: List[DecodeSession],
+    ) -> None:
+        self.kv.release(session.session_id)
+        running.remove(session)
+        session.status = RequestStatus.PREEMPTED
+        session.preemptions += 1
+        waiting.setdefault(session.priority, deque()).appendleft(session)
+        self.telemetry.record_preemption(session)
+
+    # ------------------------------------------------------------------
+    # Admission (prefill scheduling)
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        waiting: Dict[int, Deque[DecodeSession]],
+        running: List[DecodeSession],
+        now: float,
+    ) -> List[DecodeSession]:
+        """Admit waiting sessions into the running batch at time ``now``.
+
+        Continuous mode reserves the *actual* context (prompt +
+        generated so far, plus one slot for the step's new token) and
+        may preempt strictly-lower-class running sessions to make room;
+        static mode reserves the worst-case ``prompt + decode`` span and
+        never preempts (the whole point of comparing the two).
+        Admission stops at the first head-of-class that does not fit, so
+        per-class FIFO order is never reordered by size.
+        """
+        admitted: List[DecodeSession] = []
+        cfg = self.config
+        # max_prefills_per_step bounds the prefill work a single
+        # iteration-level step absorbs; static request-level batching has
+        # no such concept — it fills the whole batch on drain.
+        prefill_cap = (
+            cfg.max_prefills_per_step if cfg.continuous else cfg.max_batch_size
+        )
+        while (
+            len(running) < cfg.max_batch_size
+            and len(admitted) < prefill_cap
+        ):
+            candidate = self._waiting_head(waiting)
+            if candidate is None:
+                break
+            tokens = (
+                candidate.context_len + 1
+                if cfg.continuous
+                else candidate.max_context_len
+            )
+            if not self.kv.can_reserve(tokens) and cfg.continuous and cfg.preemption:
+                self._preempt_for_admission(candidate, tokens, waiting, running)
+            if not self.kv.reserve(candidate.session_id, tokens):
+                break
+            waiting[candidate.priority].popleft()
+            candidate.status = RequestStatus.RUNNING
+            if candidate.admit_time is None:
+                candidate.admit_time = now
+            candidate.admit_order = next(self._admit_seq)
+            running.append(candidate)
+            admitted.append(candidate)
+        return admitted
+
+    def _preempt_for_admission(
+        self,
+        candidate: DecodeSession,
+        tokens: int,
+        waiting: Dict[int, Deque[DecodeSession]],
+        running: List[DecodeSession],
+    ) -> None:
+        """Evict strictly-lower-class running sessions for ``candidate``.
+
+        Victims are taken lowest class first, youngest admission first
+        (least sunk prefill work), and only if evicting every eligible
+        victim would actually make the reservation fit — a hopeless
+        preemption spree would shed work without admitting anyone.
+        """
+        need = self.kv.blocks_for(tokens)
+        victims = sorted(
+            (s for s in running if s.priority < candidate.priority),
+            key=lambda s: (s.priority, -s.admit_order),
+        )
+        reclaimable = self.kv.free_blocks + sum(
+            self.kv.blocks_for(self.kv.resident_tokens(s.session_id))
+            for s in victims
+        )
+        if reclaimable < need:
+            return
+        for victim in victims:
+            if self.kv.free_blocks >= need:
+                break
+            self._requeue_preempted(victim, waiting, running)
+
+    # ------------------------------------------------------------------
+    # KV growth (one token per running session, preempt under pressure)
+    # ------------------------------------------------------------------
+    def _grow_for_step(
+        self,
+        waiting: Dict[int, Deque[DecodeSession]],
+        running: List[DecodeSession],
+    ) -> None:
+        """Extend every running session's residency for this step's token.
+
+        Highest class grows first (oldest admission breaking ties).  A
+        session that cannot grow preempts the youngest not-yet-grown
+        strictly-lower-class session; with no such victim it preempts
+        *itself* — backpressure requeue, which is why the loop cannot
+        deadlock on a full block pool.
+        """
+        order = sorted(
+            list(running),
+            key=lambda s: (-s.priority, s.admit_order),
+        )
+        grown: set = set()
+        for session in order:
+            if session not in running:
+                continue  # preempted as a victim earlier in this pass
+            while not self.kv.grow_to(session.session_id, session.context_len + 1):
+                victims = [
+                    s
+                    for s in running
+                    if s is not session
+                    and s.session_id not in grown
+                    and s.priority < session.priority
+                ]
+                if victims:
+                    victim = min(
+                        victims, key=lambda s: (s.priority, -s.admit_order)
+                    )
+                else:
+                    victim = session
+                self._requeue_preempted(victim, waiting, running)
+                if victim is session:
+                    break
+            else:
+                grown.add(session.session_id)
+
+    # ------------------------------------------------------------------
+    # The serving loop
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario, seed: int = 0) -> EngineTelemetry:
+        """Drive a full scenario of decode sessions; returns telemetry."""
+        cfg = self.config
+        sessions = build_sessions(self.profile, scenario, seed)
+        waiting: Dict[int, Deque[DecodeSession]] = {}
+        running: List[DecodeSession] = []
+        idx = 0
+        t = 0.0
+        name = self.profile.name
+        model = self.profile.model
+
+        while idx < len(sessions) or self._waiting_any(waiting) or running:
+            if not running and not self._waiting_any(waiting):
+                t = max(t, sessions[idx].arrival_time)
+            while idx < len(sessions) and sessions[idx].arrival_time <= t:
+                arrival = sessions[idx]
+                idx += 1
+                if self.kv.blocks_for(arrival.max_context_len) > self.kv.num_blocks:
+                    arrival.status = RequestStatus.REJECTED
+                    self.telemetry.record_rejection(arrival)
+                    continue
+                waiting.setdefault(arrival.priority, deque()).append(arrival)
+
+            prefills: List[DecodeSession] = []
+            if cfg.continuous or not running:
+                prefills = self._admit(waiting, running, t)
+            if cfg.continuous:
+                self._grow_for_step(waiting, running)
+                # A session admitted above but preempted during growth
+                # never joins this step's batch — it must not be priced
+                # as a prefill here (it pays the prefill when readmitted).
+                prefills = [s for s in prefills if s in running]
+            if not running:
+                continue  # everything admitted got preempted; retry at t
+
+            # Price the step: token-parallel GEMMs at the slot count plus
+            # each slot's attention read.  Finished sessions padding a
+            # static batch attend at their frozen final context — the
+            # wasted work request-level batching pays until its longest
+            # member drains.
+            lens = tuple(
+                s.max_context_len if s.finished else s.context_len + 1
+                for s in running
+            )
+            prefill_lens = tuple(s.context_len for s in prefills)
+            step_s = self.service.step_latency(name, lens)
+            for plen in prefill_lens:
+                step_s += self.service.prefill(name, plen)
+
+            worker = self.pool.route(name, t)
+            if worker is None:
+                t = max(t, self.pool.next_free_time(name))
+                worker = self.pool.route(name, t)
+            active = sum(1 for s in running if not s.finished)
+            if cfg.execute:
+                outputs = worker.run_batch(
+                    name, model, [s.x for s in running], t, step_s, tokens=active
+                )
+            else:
+                outputs = None
+                worker.run_booking(name, len(running), t, step_s, tokens=active)
+
+            t_end = t + step_s
+            self.clock.advance_to(t_end)
+            for i, session in enumerate(running):
+                if session.finished:
+                    continue  # static-mode padding slot
+                session.tokens_generated += 1
+                if outputs is not None:
+                    row = outputs[i]
+                    session.outputs.append(row.copy())
+                    session.x = next_token_input(row)
+                if session.first_token_time is None:
+                    session.first_token_time = t_end
+                if session.finished:
+                    session.status = RequestStatus.COMPLETED
+                    session.finish_time = t_end
+                    self.telemetry.record_session(session)
+
+            self.telemetry.record_step(
+                t,
+                name,
+                lens,
+                prefill_lens,
+                active,
+                step_s,
+                self.kv.used_blocks,
+                self.kv.occupancy(),
+            )
+
+            if cfg.continuous:
+                for session in [s for s in running if s.finished]:
+                    self.kv.release(session.session_id)
+                    running.remove(session)
+            elif all(s.finished for s in running):
+                for session in running:
+                    self.kv.release(session.session_id)
+                running.clear()
+            t = t_end
+
+        return self.telemetry
+
+    # ------------------------------------------------------------------
+    def report(self, scenario: Scenario) -> Dict[str, object]:
+        """Full engine report with the analytic-model cross-check.
+
+        Every recorded step latency is re-derived from scratch through
+        ``arch.inference`` (:func:`decode_step_latency` /
+        :func:`prefill_latency`), bypassing the engine's memos — drift
+        between dispatch accounting and the hardware model shows up as a
+        nonzero ``max_abs_error_s``.
+        """
+        horizon = max(scenario.duration_s, self.telemetry.makespan())
+        out = self.telemetry.summary(horizon, ttft_slo_s=self.profile.ttft_slo_s)
+        out["mode"] = "continuous" if self.config.continuous else "static"
+        out["offered_sessions"] = scenario.num_requests
+        out["kv_manager"] = self.kv.stats()
+        out["workers"] = self.pool.worker_stats()
+        out["programmed_cache"] = self.pool.cache_stats()
+
+        accelerator = self.service.accelerator
+        kv_spec = self.profile.kv
+        shape_cache: Dict[int, list] = {}
+
+        def shapes_at(batch: int):
+            if batch not in shape_cache:
+                shape_cache[batch] = model_layer_shapes(
+                    self.profile.name, self.profile.model, batch
+                )
+            return shape_cache[batch]
+
+        def step_fn(model, context_lens, prefill_lens):
+            total = decode_step_latency(
+                shapes_at(len(context_lens)), context_lens, kv_spec, accelerator
+            )["step_latency_s"]
+            for plen in prefill_lens:
+                total += prefill_latency(
+                    shapes_at(plen), plen, kv_spec, accelerator
+                )
+            return total
+
+        out["analytic_consistency"] = self.telemetry.cross_check_decode_model(
+            step_fn
+        )
+        return out
+
+
+def sequential_decode_outputs(
+    profile: DecodeModelProfile,
+    scenario: Scenario,
+    seed: int = 0,
+    executor: Optional[PhotonicExecutor] = None,
+) -> Dict[int, List[np.ndarray]]:
+    """Reference batch-1 decode of every session (no batching at all).
+
+    Runs each session's full recurrence alone through a fresh
+    weight-static executor; the engine's per-token outputs must match
+    these **bit-exactly** for every batch composition the scheduler
+    formed — the correctness bar of the continuous-batching benchmark.
+    """
+    executor = executor or PhotonicExecutor()
+    outputs: Dict[int, List[np.ndarray]] = {}
+    for session in build_sessions(profile, scenario, seed):
+        x = session.x
+        rows: List[np.ndarray] = []
+        for _ in range(session.decode_len):
+            out = executor.run_sequential(profile.model, x[None, :])
+            row = out[0]
+            rows.append(row.copy())
+            x = next_token_input(row)
+        outputs[session.session_id] = rows
+    return outputs

@@ -51,6 +51,7 @@ class PoolWorker:
         self.busy_time = 0.0
         self.batches_served = 0
         self.requests_served = 0
+        self.tokens_served = 0
         self.models_programmed: Set[str] = set()
 
     def is_free(self, now: float) -> bool:
@@ -60,13 +61,24 @@ class PoolWorker:
         return time_at_or_before(self.busy_until, now)
 
     def run_booking(
-        self, model_name: str, batch: int, now: float, service_s: float
+        self,
+        model_name: str,
+        batch: int,
+        now: float,
+        service_s: float,
+        tokens: int = 0,
     ) -> None:
-        """Book the busy window only (timing-only runs, no functional exec)."""
+        """Book the busy window only (timing-only runs, no functional exec).
+
+        ``tokens`` is the number of output tokens this busy window
+        produced — 0 for one-shot request serving, the decode-batch size
+        for an engine step.
+        """
         self.busy_until = now + service_s
         self.busy_time += service_s
         self.batches_served += 1
         self.requests_served += batch
+        self.tokens_served += tokens
         self.models_programmed.add(model_name)
 
     def run_batch(
@@ -76,11 +88,12 @@ class PoolWorker:
         xs: Sequence[np.ndarray],
         now: float,
         service_s: float,
+        tokens: int = 0,
     ) -> np.ndarray:
         """Execute one micro-batch functionally and book the busy window."""
         stacked = np.stack([np.asarray(x, dtype=np.float64) for x in xs])
         out = self.executor.run_sequential(model, stacked)
-        self.run_booking(model_name, len(xs), now, service_s)
+        self.run_booking(model_name, len(xs), now, service_s, tokens=tokens)
         return out
 
 
@@ -272,6 +285,7 @@ class ExecutorPool:
                 "worker_id": w.worker_id,
                 "batches": w.batches_served,
                 "requests": w.requests_served,
+                "tokens": w.tokens_served,
                 "busy_time_s": w.busy_time,
             }
             for w in self.workers

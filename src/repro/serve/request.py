@@ -46,12 +46,20 @@ class Priority:
 
 
 class RequestStatus:
-    """Lifecycle states of a request (plain strings, cheap to log)."""
+    """Lifecycle states of a request (plain strings, cheap to log).
+
+    ``RUNNING``/``PREEMPTED`` belong to autoregressive decode sessions
+    (:mod:`repro.serve.engine`): a session alternates between holding a
+    slot in the running batch and being preempted back to the waiting
+    queue when a higher class needs its KV-cache blocks.
+    """
 
     QUEUED = "queued"
     REJECTED = "rejected"
     EVICTED = "evicted"
     DISPATCHED = "dispatched"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
     COMPLETED = "completed"
 
 

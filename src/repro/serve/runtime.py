@@ -145,7 +145,15 @@ class ModelProfile:
 
 
 class ServiceModel:
-    """Analytic batch-service latencies, memoised per (model, batch)."""
+    """Analytic batch-service latencies, memoised per (model, batch).
+
+    ``batch_latency`` / ``prewarm_latency`` are pure functions of the
+    registered profile, so each (model, batch) pair is priced through
+    ``arch.inference`` exactly once per registration — hot dispatch
+    paths (every micro-batch and every engine decode step) read the
+    memo.  Re-registering a name drops that model's cached entries, so a
+    swapped profile can never serve the old profile's latencies.
+    """
 
     def __init__(self, accelerator: Optional[MirageAccelerator] = None):
         self.accelerator = accelerator or MirageAccelerator()
@@ -153,7 +161,17 @@ class ServiceModel:
         self._cache: Dict[Tuple[str, int], float] = {}
 
     def register(self, profile: ModelProfile) -> None:
+        if profile.name in self._profiles:
+            self._invalidate(profile.name)
         self._profiles[profile.name] = profile
+
+    def _invalidate(self, model: str) -> None:
+        for key in [k for k in self._cache if k[0] == model]:
+            del self._cache[key]
+
+    def cache_info(self) -> Dict[str, int]:
+        """Size of the latency memo (observability for the memo tests)."""
+        return {"entries": len(self._cache)}
 
     def batch_latency(self, model: str, batch: int) -> float:
         key = (model, batch)

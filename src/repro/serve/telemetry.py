@@ -29,7 +29,12 @@ import numpy as np
 
 from .request import InferenceRequest, RequestStatus
 
-__all__ = ["Telemetry", "percentile", "summarize_latencies"]
+__all__ = [
+    "EngineTelemetry",
+    "Telemetry",
+    "percentile",
+    "summarize_latencies",
+]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -253,4 +258,217 @@ class Telemetry:
                 }
         if cache_stats is not None:
             out["programmed_cache"] = cache_stats
+        return out
+
+
+# ----------------------------------------------------------------------
+# Token-level telemetry (autoregressive serving engine)
+# ----------------------------------------------------------------------
+@dataclass
+class _StepRecord:
+    """One iteration-level engine step: batch shape, cost, KV pressure."""
+
+    t: float
+    model: str
+    batch: int
+    active: int
+    context_lens: Tuple[int, ...]
+    prefill_lens: Tuple[int, ...]
+    step_s: float
+    kv_blocks: int
+    kv_occupancy: float
+
+
+class EngineTelemetry:
+    """Token-serving metrics: TTFT, TPOT, tokens/s, KV pressure.
+
+    Sessions are duck-typed (:class:`repro.serve.engine.DecodeSession`):
+    anything with ``priority``/``ttft``/``tpot``/``decode_len``/
+    ``finish_time``/``preemptions`` records.  Per-step records keep the
+    exact batch composition (context and prefill lengths), so the report
+    can re-derive every step's latency from
+    :func:`repro.arch.inference.decode_step_latency` and prove the
+    engine's accounting matches the analytic hardware model — the same
+    cross-check discipline as request-level :class:`Telemetry`.
+    """
+
+    def __init__(self):
+        self.sessions: List = []
+        self.rejected: List = []
+        self.steps: List[_StepRecord] = []
+        self.preemptions = 0
+        self.preemptions_by_class: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_step(
+        self,
+        t: float,
+        model: str,
+        context_lens: Sequence[int],
+        prefill_lens: Sequence[int],
+        active: int,
+        step_s: float,
+        kv_blocks: int,
+        kv_occupancy: float,
+    ) -> None:
+        self.steps.append(
+            _StepRecord(
+                t,
+                model,
+                len(context_lens),
+                active,
+                tuple(context_lens),
+                tuple(prefill_lens),
+                step_s,
+                kv_blocks,
+                kv_occupancy,
+            )
+        )
+
+    def record_session(self, session) -> None:
+        self.sessions.append(session)
+
+    def record_rejection(self, session) -> None:
+        self.rejected.append(session)
+
+    def record_preemption(self, session) -> None:
+        self.preemptions += 1
+        self.preemptions_by_class[session.priority] += 1
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def classes_seen(self) -> List[int]:
+        seen = {s.priority for s in self.sessions}
+        seen.update(s.priority for s in self.rejected)
+        return sorted(seen)
+
+    def ttfts(self, priority: Optional[int] = None) -> List[float]:
+        return [
+            s.ttft
+            for s in self.sessions
+            if s.ttft is not None
+            and (priority is None or s.priority == priority)
+        ]
+
+    def tokens_generated(self) -> int:
+        return sum(s.tokens_generated for s in self.sessions)
+
+    def tokens_per_s(self, horizon_s: float) -> float:
+        if horizon_s <= 0:
+            return 0.0
+        return self.tokens_generated() / horizon_s
+
+    def makespan(self) -> float:
+        if not self.sessions:
+            return 0.0
+        return max(s.finish_time for s in self.sessions)
+
+    def mean_tpot(self) -> float:
+        """Pooled time-per-output-token after the first, across sessions."""
+        span = 0.0
+        tokens = 0
+        for s in self.sessions:
+            if s.tpot is None:
+                continue
+            steps = s.decode_len - 1
+            span += s.tpot * steps
+            tokens += steps
+        return span / tokens if tokens else 0.0
+
+    def mean_batch_size(self) -> float:
+        if not self.steps:
+            return 0.0
+        return sum(r.active for r in self.steps) / len(self.steps)
+
+    def kv_stats(self) -> Dict[str, float]:
+        if not self.steps:
+            return {"peak_occupancy": 0.0, "mean_occupancy": 0.0, "peak_blocks": 0}
+        occ = [r.kv_occupancy for r in self.steps]
+        return {
+            "peak_occupancy": float(max(occ)),
+            "mean_occupancy": float(np.mean(occ)),
+            "peak_blocks": max(r.kv_blocks for r in self.steps),
+        }
+
+    def ttft_slo_attainment(
+        self, slo_s: float, priority: Optional[int] = None
+    ) -> float:
+        """Fraction of sessions whose first token met ``slo_s``.
+
+        Rejected sessions count as misses, mirroring request-level SLO
+        accounting (shedding is a miss from the caller's side).
+        """
+        ttfts = self.ttfts(priority=priority)
+        shed = sum(
+            1
+            for s in self.rejected
+            if priority is None or s.priority == priority
+        )
+        total = len(ttfts) + shed
+        if total == 0:
+            return 1.0
+        met = sum(1 for v in ttfts if v <= slo_s + 1e-15)
+        return met / total
+
+    def cross_check_decode_model(
+        self, step_fn: Callable[[str, Sequence[int], Sequence[int]], float]
+    ) -> Dict[str, float]:
+        """Re-derive every step's cost from the analytic decode model.
+
+        ``step_fn(model, context_lens, prefill_lens)`` must reproduce
+        each recorded ``step_s`` exactly, or the engine's dispatch
+        accounting has drifted from ``arch.inference``.
+        """
+        if not self.steps:
+            return {"max_abs_error_s": 0.0, "checked_steps": 0}
+        errs = [
+            abs(r.step_s - step_fn(r.model, r.context_lens, r.prefill_lens))
+            for r in self.steps
+        ]
+        return {
+            "max_abs_error_s": float(max(errs)),
+            "checked_steps": len(self.steps),
+        }
+
+    # ------------------------------------------------------------------
+    def summary(
+        self, horizon_s: float, ttft_slo_s: Optional[float] = None
+    ) -> Dict[str, object]:
+        """The numbers an LLM-serving dashboard pages on."""
+        out: Dict[str, object] = {
+            "sessions": len(self.sessions),
+            "rejected": len(self.rejected),
+            "tokens": self.tokens_generated(),
+            "tokens_per_s": self.tokens_per_s(horizon_s),
+            "ttft": summarize_latencies(self.ttfts()),
+            "tpot_s": self.mean_tpot(),
+            "steps": len(self.steps),
+            "mean_batch_size": self.mean_batch_size(),
+            "preemptions": self.preemptions,
+            "kv": self.kv_stats(),
+        }
+        if ttft_slo_s is not None:
+            out["ttft_slo_s"] = ttft_slo_s
+            out["ttft_slo_attainment"] = self.ttft_slo_attainment(ttft_slo_s)
+            classes = self.classes_seen()
+            if classes != [0]:
+                out["per_class"] = {
+                    str(p): {
+                        "sessions": sum(
+                            1 for s in self.sessions if s.priority == p
+                        ),
+                        "rejected": sum(
+                            1 for s in self.rejected if s.priority == p
+                        ),
+                        "preemptions": self.preemptions_by_class.get(p, 0),
+                        "ttft_p99_s": percentile(self.ttfts(priority=p), 99),
+                        "ttft_slo_attainment": self.ttft_slo_attainment(
+                            ttft_slo_s, priority=p
+                        ),
+                    }
+                    for p in classes
+                }
         return out

@@ -44,12 +44,15 @@ __all__ = [
     "diurnal_arrivals",
     "assign_models",
     "assign_priorities",
+    "geometric_lengths",
+    "lognormal_lengths",
     "poisson_scenario",
     "bursty_scenario",
     "diurnal_scenario",
     "multi_tenant_scenario",
     "priority_scenario",
     "multi_tenant_priority_scenario",
+    "decode_scenario",
     "SCENARIO_NAMES",
 ]
 
@@ -60,10 +63,16 @@ SCENARIO_NAMES = (
     "multi_tenant",
     "priority",
     "multi_tenant_priority",
+    "decode",
 )
 
-# Arrivals are (time, model) or (time, model, priority).
-Arrival = Union[Tuple[float, str], Tuple[float, str, int]]
+# Arrivals are (time, model), (time, model, priority), or — for
+# autoregressive sessions — (time, model, priority, prompt_len, decode_len).
+Arrival = Union[
+    Tuple[float, str],
+    Tuple[float, str, int],
+    Tuple[float, str, int, int, int],
+]
 
 # Cap on exponential-gap draws per chunk: keeps peak memory O(_CHUNK) no
 # matter how large rate * duration is, while cumulative-sum chaining keeps
@@ -236,6 +245,85 @@ def assign_priorities(
 
 
 # ----------------------------------------------------------------------
+# Sequence-length samplers (autoregressive sessions)
+# ----------------------------------------------------------------------
+def _check_length_bounds(minimum: int, maximum: Optional[int]) -> None:
+    if minimum < 1:
+        raise ValueError(f"minimum must be >= 1, got {minimum}")
+    if maximum is not None and maximum < minimum:
+        raise ValueError(
+            f"maximum must be >= minimum, got {maximum} < {minimum}"
+        )
+
+
+def geometric_lengths(
+    n: int,
+    mean: float,
+    rng: np.random.Generator,
+    minimum: int = 1,
+    maximum: Optional[int] = None,
+) -> np.ndarray:
+    """``n`` geometric token counts with the given mean (ints >= minimum).
+
+    The memoryless length distribution of chat-style decode traffic:
+    most responses are short, a heavy tail keeps going — the mix that
+    makes request-level batching waste slots on drained sequences.
+    Deterministic in the RNG trace (one vectorised draw, same discipline
+    as :func:`poisson_arrivals`); non-finite or sub-``minimum`` means
+    are rejected rather than looping or dividing by zero.
+    """
+    _check_finite(mean=mean)
+    _check_length_bounds(minimum, maximum)
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if mean < minimum:
+        raise ValueError(
+            f"mean must be >= minimum ({minimum}), got {mean}"
+        )
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    p = 1.0 / (mean - minimum + 1.0)
+    lengths = minimum + rng.geometric(p, size=n) - 1
+    if maximum is not None:
+        lengths = np.minimum(lengths, maximum)
+    return lengths.astype(np.int64)
+
+
+def lognormal_lengths(
+    n: int,
+    median: float,
+    sigma: float,
+    rng: np.random.Generator,
+    minimum: int = 1,
+    maximum: Optional[int] = None,
+) -> np.ndarray:
+    """``n`` lognormal token counts (ints in ``[minimum, maximum]``).
+
+    The canonical prompt-length shape: a body around ``median`` with a
+    multiplicative spread ``sigma`` (``sigma = 0`` degenerates to a
+    constant ``median``).  Same determinism and validation discipline as
+    :func:`geometric_lengths`.
+    """
+    _check_finite(median=median, sigma=sigma)
+    _check_length_bounds(minimum, maximum)
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if median <= 0:
+        raise ValueError(f"median must be > 0, got {median}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    lengths = np.rint(
+        rng.lognormal(math.log(median), sigma, size=n)
+    ).astype(np.int64)
+    lengths = np.maximum(lengths, minimum)
+    if maximum is not None:
+        lengths = np.minimum(lengths, maximum)
+    return lengths
+
+
+# ----------------------------------------------------------------------
 # Canonical scenario builders
 # ----------------------------------------------------------------------
 def poisson_scenario(
@@ -327,3 +415,46 @@ def multi_tenant_priority_scenario(
         a if len(a) > 2 else (a[0], a[1], 0) for a in tagged
     )
     return Scenario("multi_tenant_priority", arrivals, duration)
+
+
+def decode_scenario(
+    model: str,
+    rate: float,
+    duration: float,
+    prompt_median: float = 24.0,
+    prompt_sigma: float = 0.5,
+    decode_mean: float = 16.0,
+    class_mix: Optional[Dict[int, float]] = None,
+    prompt_max: Optional[int] = None,
+    decode_max: Optional[int] = None,
+    seed: int = 0,
+) -> Scenario:
+    """Autoregressive-session traffic for the token serving engine.
+
+    Poisson arrivals where each arrival is a **decode session**:
+    ``(time, model, priority, prompt_len, decode_len)`` with lognormal
+    prompt lengths (:func:`lognormal_lengths`) and geometric decode
+    lengths (:func:`geometric_lengths`) — the mixed-length regime
+    continuous batching exists for.  ``class_mix`` optionally splits
+    sessions across priority classes (default: all class 0).  Draw order
+    is fixed (times, classes, prompts, decodes), so the trace is
+    deterministic in the seed.
+    """
+    rng = np.random.default_rng(seed)
+    times = poisson_arrivals(rate, duration, rng)
+    tagged = assign_models(times, {model: 1.0}, rng)
+    if class_mix:
+        tagged = assign_priorities(tagged, class_mix, rng)
+    else:
+        tagged = tuple((t, m, 0) for t, m in tagged)
+    prompts = lognormal_lengths(
+        len(tagged), prompt_median, prompt_sigma, rng, maximum=prompt_max
+    )
+    decodes = geometric_lengths(
+        len(tagged), decode_mean, rng, maximum=decode_max
+    )
+    arrivals = tuple(
+        (t, m, p, int(prompts[i]), int(decodes[i]))
+        for i, (t, m, p) in enumerate(tagged)
+    )
+    return Scenario("decode", arrivals, duration)

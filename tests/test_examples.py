@@ -53,6 +53,14 @@ class TestExamples:
         assert "evictions (batch shed for interactive)" in result.stdout
         assert "max drift 0.0e+00" in result.stdout
 
+    def test_continuous_batching_demo(self):
+        result = _run("continuous_batching_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "continuous batching sustained" in result.stdout
+        assert "bit-exact vs batch-1 decode: True" in result.stdout
+        assert "max drift 0.0e+00" in result.stdout
+        assert "preemptions" in result.stdout
+
     def test_calibration_demo(self):
         result = _run("calibration_demo.py")
         assert result.returncode == 0, result.stderr

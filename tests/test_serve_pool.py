@@ -207,3 +207,88 @@ class TestExecutionAndStats:
         assert stats["misses"] == 2  # prewarm programmed both layers
         assert stats["hits"] == 2  # the batch reused them
         assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+class TestCacheAffinityTieBreaking:
+    def test_warm_ties_break_by_load_then_id(self):
+        pool = ExecutorPool(3, policy="cache_affinity")
+        pool.place("a", mlp(0), replicas=3)
+        for w in pool.workers:
+            w.models_programmed.add("a")
+        pool.workers[0].busy_time = 2.0
+        pool.workers[1].busy_time = 1.0
+        pool.workers[2].busy_time = 1.0
+        # Among equally-warm free replicas: least busy_time, then lowest id.
+        assert pool.route("a", 0.0).worker_id == 1
+
+    def test_equal_load_warm_ties_break_by_worker_id(self):
+        pool = ExecutorPool(3, policy="cache_affinity")
+        pool.place("a", mlp(0), replicas=3)
+        for w in pool.workers:
+            w.models_programmed.add("a")
+        assert pool.route("a", 0.0).worker_id == 0
+
+    def test_cold_fallback_is_least_loaded(self):
+        pool = ExecutorPool(3, policy="cache_affinity")
+        pool.place("a", mlp(0), replicas=3)
+        # No warm replica at all: fall back to least-loaded among cold.
+        pool.workers[0].busy_time = 3.0
+        pool.workers[1].busy_time = 1.0
+        pool.workers[2].busy_time = 2.0
+        assert pool.route("a", 0.0).worker_id == 1
+
+    def test_single_warm_wins_over_less_loaded_cold(self):
+        pool = ExecutorPool(3, policy="cache_affinity")
+        pool.place("a", mlp(0), replicas=3)
+        pool.workers[2].models_programmed.add("a")
+        pool.workers[2].busy_time = 9.0
+        assert pool.route("a", 0.0).worker_id == 2
+
+
+class TestWorkerStatsUnderChurn:
+    def test_retired_worker_keeps_lifetime_stats(self):
+        pool = ExecutorPool(3)
+        model = mlp(0)
+        pool.place("a", model, replicas=3, prewarm=True)
+        for wid in pool.replicas("a"):
+            pool.workers[wid].run_batch(
+                "a", model, [np.zeros(8)], 0.0, 0.1, tokens=1
+            )
+        pool.scale_to("a", 1, now=0.2)
+        stats = {s["worker_id"]: s for s in pool.worker_stats()}
+        # worker_stats covers the whole pool, not just the routing set.
+        assert set(stats) == {0, 1, 2}
+        for wid in (1, 2):
+            assert stats[wid]["batches"] == 1
+            assert stats[wid]["requests"] == 1
+            assert stats[wid]["tokens"] == 1
+            assert stats[wid]["busy_time_s"] == pytest.approx(0.1)
+
+    def test_cold_scale_up_charges_busy_time_in_stats(self):
+        pool = ExecutorPool(2)
+        pool.place("a", mlp(0), replicas=1, prewarm=True)
+        delta = pool.scale_to("a", 2, now=1.0, prewarm_latency_s=0.25)
+        (cold,) = delta["cold"]
+        stats = {s["worker_id"]: s for s in pool.worker_stats()}
+        assert stats[cold]["busy_time_s"] == pytest.approx(0.25)
+        assert stats[cold]["batches"] == 0  # prewarm is not a served batch
+
+    def test_stats_accumulate_across_scale_cycles(self):
+        pool = ExecutorPool(2)
+        model = mlp(0)
+        pool.place("a", model, replicas=2, prewarm=True)
+        pool.workers[1].run_batch("a", model, [np.zeros(8)], 0.0, 0.1, tokens=2)
+        pool.scale_to("a", 1, now=0.2)  # retire worker 1
+        pool.scale_to("a", 2, now=0.4)  # warm rejoin, no prewarm charge
+        pool.workers[1].run_batch("a", model, [np.zeros(8)], 0.5, 0.1, tokens=3)
+        stats = {s["worker_id"]: s for s in pool.worker_stats()}
+        assert stats[1]["batches"] == 2
+        assert stats[1]["tokens"] == 5
+        assert stats[1]["busy_time_s"] == pytest.approx(0.2)
+
+    def test_tokens_default_zero_for_request_serving(self):
+        pool = ExecutorPool(1)
+        model = mlp(0)
+        pool.place("a", model, replicas=1)
+        pool.workers[0].run_batch("a", model, [np.zeros(8)], 0.0, 0.1)
+        assert pool.worker_stats()[0]["tokens"] == 0

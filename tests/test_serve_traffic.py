@@ -162,7 +162,7 @@ class TestScenarios:
     def test_canonical_names(self):
         assert set(SCENARIO_NAMES) == {
             "poisson", "bursty", "diurnal", "multi_tenant",
-            "priority", "multi_tenant_priority",
+            "priority", "multi_tenant_priority", "decode",
         }
 
 
