@@ -24,6 +24,7 @@ SMOKE_BENCHES = (
     "bench_serving.py",
     "bench_autoscale.py",
     "bench_continuous.py",
+    "bench_prefix.py",
 )
 
 

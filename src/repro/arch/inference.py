@@ -27,6 +27,7 @@ from .workloads import GemmShape, LayerShape, TrainingGemm, training_gemms, work
 
 __all__ = [
     "attention_token_latency",
+    "chunked_prefill_latency",
     "decode_step_latency",
     "inference_latency",
     "inference_metrics",
@@ -222,6 +223,60 @@ def decode_step_latency(
     }
 
 
+def chunked_prefill_latency(
+    layers: Sequence[LayerShape],
+    chunk_len: int,
+    context_len: int = 0,
+    kv=None,
+    accelerator: Optional[MirageAccelerator] = None,
+) -> float:
+    """Seconds to prefill one ``chunk_len``-token slice of a prompt.
+
+    Chunked prefill splits a long prompt into slices interleaved with
+    running decode steps (bounding the TTFT jitter a monolithic prefill
+    inflicts on co-scheduled sessions).  ``context_len`` tokens of KV
+    are already resident — from earlier chunks *or* from a shared-prefix
+    cache hit — so the slice's cost is its token-parallel GEMMs
+    (``layers`` shaped at ``batch = chunk_len``) plus causal attention
+    of the chunk's queries over everything resident so far: per layer
+    and head a ``(Q, head_dim) @ (head_dim, C + Q)`` score GEMM and a
+    ``(Q, C + Q) @ (C + Q, head_dim)`` context GEMM.
+
+    ``chunk_len = 0`` — a fully cached slice — is **defined** as zero
+    seconds (no GEMMs stream; ``layers`` and ``kv`` are not consulted):
+    the scheduling step it rides in still happens, it just adds no
+    prefill time.  With ``context_len = 0`` and the whole prompt as one
+    chunk this reproduces :func:`prefill_latency` exactly, which is the
+    engine's chunked-step cross-check contract.
+    """
+    if chunk_len < 0:
+        raise ValueError(f"chunk_len must be >= 0, got {chunk_len}")
+    if context_len < 0:
+        raise ValueError(f"context_len must be >= 0, got {context_len}")
+    if chunk_len == 0:
+        return 0.0
+    accelerator = accelerator or MirageAccelerator()
+    total = microbatch_latency(layers, accelerator)
+    if kv is not None:
+        _check_kv_spec(kv)
+        count = kv.num_layers * kv.num_heads
+        span = context_len + chunk_len
+        attn = [
+            LayerShape(
+                "prefill.scores",
+                GemmShape(chunk_len, kv.head_dim, span, count=count),
+                "attention",
+            ),
+            LayerShape(
+                "prefill.context",
+                GemmShape(chunk_len, span, kv.head_dim, count=count),
+                "attention",
+            ),
+        ]
+        total += inference_latency(attn, accelerator)
+    return total
+
+
 def prefill_latency(
     layers: Sequence[LayerShape],
     prompt_len: int,
@@ -236,28 +291,20 @@ def prefill_latency(
     attention over the prompt: per layer and head a
     ``(P, head_dim) @ (head_dim, P)`` score GEMM and a
     ``(P, P) @ (P, head_dim)`` context GEMM.
+
+    ``prompt_len = 0`` — every prompt token already resident from a
+    shared-prefix cache hit — is **defined** as zero seconds: no GEMM
+    streams, but the engine still spends a scheduling step admitting
+    the session (the step's cost is its decode batch, not the prefill).
+    Negative lengths raise.  Implemented as the single-chunk case of
+    :func:`chunked_prefill_latency` with no resident context, so the
+    two are bit-identical where they overlap.
     """
-    if prompt_len < 1:
-        raise ValueError(f"prompt_len must be >= 1, got {prompt_len}")
-    accelerator = accelerator or MirageAccelerator()
-    total = microbatch_latency(layers, accelerator)
-    if kv is not None:
-        _check_kv_spec(kv)
-        count = kv.num_layers * kv.num_heads
-        attn = [
-            LayerShape(
-                "prefill.scores",
-                GemmShape(prompt_len, kv.head_dim, prompt_len, count=count),
-                "attention",
-            ),
-            LayerShape(
-                "prefill.context",
-                GemmShape(prompt_len, prompt_len, kv.head_dim, count=count),
-                "attention",
-            ),
-        ]
-        total += inference_latency(attn, accelerator)
-    return total
+    if prompt_len < 0:
+        raise ValueError(f"prompt_len must be >= 0, got {prompt_len}")
+    return chunked_prefill_latency(
+        layers, prompt_len, context_len=0, kv=kv, accelerator=accelerator
+    )
 
 
 # Published numbers reproduced from Table III (reference constants; the

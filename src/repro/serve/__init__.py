@@ -27,26 +27,43 @@ telemetry cross-check discipline):
   where a request is a :class:`~repro.serve.engine.DecodeSession` whose
   KV state grows with every generated token::
 
-      decode_scenario ──> waiting queues (per priority class)
-                              │ admit prefills (KV blocks permitting)
-                              ▼
+      decode_scenario / shared_prefix / fewshot_pool / multiturn
+                              │ (per priority class waiting queues)
+                              ▼ admit (KV blocks permitting)
       TokenServingEngine ── re-forms the running batch EVERY step:
           │    admit / retire / preempt-low-class-under-KV-pressure
           │
-          ├─> KVBlockManager   block-granular residency, budget derived
-          │                    from MemorySystemModel / MirageConfig;
-          │                    preempted sessions requeue and re-prefill
+          ├─> RadixPrefixIndex  radix tree over chained token-block
+          │        hashes: admission attaches the prompt's cached head
+          │        (copy-on-write inside a divergent block), LRU evicts
+          │        unreferenced cached prefixes, leaves first
+          ├─> KVBlockManager   refcounted block tables, budget derived
+          │        from MemorySystemModel / MirageConfig; sessions
+          │        sharing a prompt head pin the SAME physical blocks;
+          │        preemption decrefs (never frees shared state), so a
+          │        resumed session re-attaches its still-cached prefix
+          │        and re-prefills only the evicted private suffix
+          ├─> chunked prefill  the UNCACHED suffix is sliced into
+          │        prefill_chunk_tokens chunks interleaved with running
+          │        decode steps (bounding TTFT jitter), each priced by
+          │        arch.inference.chunked_prefill_latency over the
+          │        resident context; a fully cached prompt costs zero
+          │        GEMM time but still one scheduling step
           ▼
       ExecutorPool worker ── one batched GEMM stream per decode step
           (functional surrogate recurrence: per-token outputs bit-exact
           vs batch-1), clock advanced by arch.inference's
-          decode_step_latency / prefill_latency; EngineTelemetry scores
-          TTFT, TPOT, tokens/s, KV occupancy and per-class TTFT SLO.
+          decode_step_latency / chunked_prefill_latency; EngineTelemetry
+          scores TTFT (+jitter), TPOT, tokens/s, KV occupancy, prefix
+          hit rate / cached-token fraction / prefill tokens saved, and
+          per-class TTFT SLO.
 
 The engine is why mixed-length decode traffic keeps the accelerator
 busy: request-level batching would pad every batch to its slowest
 member and pin worst-case KV for the whole ride (measured as the
-``continuous``-vs-``static`` gap in ``benchmarks/bench_continuous.py``).
+``continuous``-vs-``static`` gap in ``benchmarks/bench_continuous.py``),
+and why fleets sharing a system prompt don't re-prefill it per session
+(the ``bench_prefix.py`` prefill-token-reduction and TTFT-p99 gates).
 """
 
 from .batcher import BatchPolicy, MicroBatcher
@@ -57,8 +74,10 @@ from .engine import (
     DecodeSession,
     EngineConfig,
     KVBlockManager,
+    RadixPrefixIndex,
     TokenServingEngine,
     build_sessions,
+    chain_block_hashes,
     next_token_input,
     sequential_decode_outputs,
 )
@@ -80,12 +99,15 @@ from .traffic import (
     bursty_scenario,
     decode_scenario,
     diurnal_scenario,
+    fewshot_pool_scenario,
     geometric_lengths,
     lognormal_lengths,
     multi_tenant_priority_scenario,
     multi_tenant_scenario,
+    multiturn_scenario,
     poisson_scenario,
     priority_scenario,
+    shared_prefix_scenario,
 )
 
 __all__ = [
@@ -105,6 +127,7 @@ __all__ = [
     "ModelProfile",
     "PoolWorker",
     "Priority",
+    "RadixPrefixIndex",
     "RequestStatus",
     "ROUTING_POLICIES",
     "SCENARIO_NAMES",
@@ -116,19 +139,23 @@ __all__ = [
     "TokenServingEngine",
     "build_sessions",
     "bursty_scenario",
+    "chain_block_hashes",
     "decode_scenario",
     "diurnal_scenario",
+    "fewshot_pool_scenario",
     "geometric_lengths",
     "infer_input_dim",
     "lognormal_lengths",
     "model_layer_shapes",
     "multi_tenant_priority_scenario",
     "multi_tenant_scenario",
+    "multiturn_scenario",
     "next_token_input",
     "percentile",
     "poisson_scenario",
     "priority_scenario",
     "sequential_decode_outputs",
+    "shared_prefix_scenario",
     "summarize_latencies",
     "time_at_or_before",
     "time_tolerance",

@@ -5,30 +5,41 @@ batch is **re-formed at every decode step** instead of once per request
 batch.  Each step it
 
 1. admits waiting sessions (highest class first, FIFO within a class) as
-   long as decode slots and KV blocks allow — prefills ride along with
-   the running batch's next token, paying the analytic
-   :func:`~repro.arch.inference.prefill_latency`;
-2. grows every running session's KV residency by one token, **preempting
-   the youngest lowest-class session** when the block pool runs dry
-   (its blocks are freed, it requeues at the head of its class, and it
-   re-prefills prompt + generated tokens when readmitted — the
-   recompute-on-resume cost of paged KV serving);
-3. dispatches the step as **one batched GEMM stream** through a
+   long as decode slots and KV blocks allow.  Admission consults the
+   shared-prefix cache (:mod:`~repro.serve.engine.prefix` via the
+   reworked refcounting :class:`~repro.serve.engine.kvcache.KVBlockManager`):
+   prompt blocks already cached are *attached*, not recomputed, and only
+   the **uncached suffix** is scheduled as prefill work;
+2. advances prefills as **chunked** work: the uncached suffix is split
+   into ``prefill_chunk_tokens`` slices that interleave with running
+   decode steps (bounding the TTFT jitter a monolithic long prefill
+   would inflict on co-scheduled sessions), each priced by
+   :func:`~repro.arch.inference.chunked_prefill_latency` over the
+   already-resident context.  A session whose suffix completes within
+   the step decodes its first token in that same step — so a fully
+   cached prompt costs zero GEMM time but still exactly one scheduling
+   step;
+3. grows every decoding session's KV residency by one token, **preempting
+   the youngest lowest-class session** when the block pool runs dry.
+   Preemption *decrefs* the victim's blocks — shared prefix blocks stay
+   cached — so a resumed session re-attaches to its still-cached prefix
+   and re-prefills only the evicted private suffix;
+4. dispatches the step as **one batched GEMM stream** through a
    weight-static :class:`~repro.serve.pool.ExecutorPool` worker — the
    functional surrogate recurrence really executes, so per-token outputs
    are bit-exact against sequential batch-1 decode — while simulated
    time advances by :func:`~repro.arch.inference.decode_step_latency`
-   (token-parallel GEMMs at the batch size plus each session's
-   attention read over its context);
-4. retires finished sessions immediately, freeing their blocks for the
-   next admission.
+   plus the step's prefill chunks;
+5. retires finished sessions immediately, freeing their private blocks
+   (and returning shared ones to the cache) for the next admission.
 
 ``EngineConfig(continuous=False)`` degenerates the same loop into the
 classic **static request-level** baseline: admission only when the batch
 has fully drained, worst-case KV reserved up front, finished sessions
-pad the batch until the longest member completes — the regime whose
-wasted slots and dead reservations continuous batching exists to
-reclaim (the ``bench_continuous`` headline).
+pad the batch until the longest member completes, prompts prefill
+monolithically with no prefix reuse — the regime whose wasted slots,
+dead reservations and duplicate prefills the continuous engine exists
+to reclaim (the ``bench_continuous`` / ``bench_prefix`` headlines).
 """
 
 from __future__ import annotations
@@ -43,8 +54,8 @@ import numpy as np
 from ...arch.accelerator import MirageAccelerator
 from ...arch.inference import (
     attention_token_latency,
+    chunked_prefill_latency,
     decode_step_latency,
-    prefill_latency,
 )
 from ...arch.memory import MemorySystemModel
 from ...core.pipeline import PhotonicExecutor
@@ -74,10 +85,11 @@ class DecodeServiceModel(ServiceModel):
     """Analytic decode/prefill pricing, memoised for the engine hot loop.
 
     Extends :class:`~repro.serve.runtime.ServiceModel` (token-parallel
-    batch GEMMs per (model, batch)) with two more memos: the per-token
-    attention read per (model, context_len) and the prompt prefill per
-    (model, prompt_len).  All three reduce to ``arch.inference`` calls,
-    and the accumulation order mirrors :func:`decode_step_latency`
+    batch GEMMs per (model, batch)) with more memos: the per-token
+    attention read per (model, context_len) and the prefill chunk per
+    (model, chunk_len, resident_context).  All reduce to
+    ``arch.inference`` calls, and the accumulation order mirrors
+    :func:`decode_step_latency` / :func:`chunked_prefill_latency`
     exactly, so the telemetry cross-check reproduces every recorded
     step latency bit-for-bit from scratch.
     """
@@ -86,15 +98,15 @@ class DecodeServiceModel(ServiceModel):
         super().__init__(accelerator)
         self._kv: Dict[str, object] = {}
         self._attn_cache: Dict[Tuple[str, int], float] = {}
-        self._prefill_cache: Dict[Tuple[str, int], float] = {}
+        self._chunk_cache: Dict[Tuple[str, int, int], float] = {}
 
     def register_decode(self, profile: DecodeModelProfile) -> None:
         self.register(ModelProfile(profile.name, profile.model))
         self._kv[profile.name] = profile.kv
         for key in [k for k in self._attn_cache if k[0] == profile.name]:
             del self._attn_cache[key]
-        for key in [k for k in self._prefill_cache if k[0] == profile.name]:
-            del self._prefill_cache[key]
+        for key in [k for k in self._chunk_cache if k[0] == profile.name]:
+            del self._chunk_cache[key]
 
     def kv_spec(self, model: str):
         return self._kv[model]
@@ -108,24 +120,45 @@ class DecodeServiceModel(ServiceModel):
         return self._attn_cache[key]
 
     def step_latency(self, model: str, context_lens: Sequence[int]) -> float:
-        """One decode step: batched token GEMMs + per-session KV reads."""
+        """One decode step: batched token GEMMs + per-session KV reads.
+
+        An empty batch (a step carrying only prefill chunks) decodes
+        nothing and costs nothing here — the chunks are priced
+        separately by :meth:`chunked_prefill`.
+        """
+        if not context_lens:
+            return 0.0
         token_s = self.batch_latency(model, len(context_lens))
         attention_s = 0.0
         for length in context_lens:
             attention_s += self.attention_latency(model, length)
         return token_s + attention_s
 
+    def chunked_prefill(
+        self, model: str, chunk_len: int, context_len: int
+    ) -> float:
+        """One prefill chunk over ``context_len`` already-resident tokens."""
+        key = (model, chunk_len, context_len)
+        if key not in self._chunk_cache:
+            if chunk_len == 0:
+                self._chunk_cache[key] = 0.0
+            else:
+                profile = self._profiles[model]
+                shapes = model_layer_shapes(
+                    model, profile.model, chunk_len, profile.input_hw
+                )
+                self._chunk_cache[key] = chunked_prefill_latency(
+                    shapes,
+                    chunk_len,
+                    context_len,
+                    self._kv[model],
+                    self.accelerator,
+                )
+        return self._chunk_cache[key]
+
     def prefill(self, model: str, prompt_len: int) -> float:
-        key = (model, prompt_len)
-        if key not in self._prefill_cache:
-            profile = self._profiles[model]
-            shapes = model_layer_shapes(
-                model, profile.model, prompt_len, profile.input_hw
-            )
-            self._prefill_cache[key] = prefill_latency(
-                shapes, prompt_len, self._kv[model], self.accelerator
-            )
-        return self._prefill_cache[key]
+        """Monolithic prompt pass — the single-chunk, no-context case."""
+        return self.chunked_prefill(model, prompt_len, 0)
 
 
 @dataclass(frozen=True)
@@ -134,10 +167,16 @@ class EngineConfig:
 
     ``continuous=False`` switches the loop to the static request-level
     baseline (admission only on a drained batch, worst-case KV reserved
-    up front, finished sessions pad until the batch completes).
-    ``preemption`` gates *admission-driven* priority preemption; KV-
-    pressure requeue during decode growth is always allowed (the loop
-    cannot deadlock on a full pool).
+    up front, finished sessions pad until the batch completes, no
+    prefix reuse or chunking).  ``preemption`` gates *admission-driven*
+    priority preemption; KV-pressure requeue during decode growth is
+    always allowed (the loop cannot deadlock on a full pool).
+
+    ``prefix_caching`` lets sessions whose prompts share a head attach
+    to cached KV blocks (prefill work is priced only for the uncached
+    suffix); ``prefill_chunk_tokens`` caps the prefill tokens one
+    session contributes to a single step (None = the whole suffix in
+    one step, the pre-chunking behaviour).
     """
 
     max_batch_size: int = 16
@@ -147,6 +186,8 @@ class EngineConfig:
     preemption: bool = True
     continuous: bool = True
     execute: bool = True
+    prefix_caching: bool = True
+    prefill_chunk_tokens: Optional[int] = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -166,13 +207,19 @@ class EngineConfig:
             raise ValueError(
                 f"kv_fraction must be in (0, 1], got {self.kv_fraction}"
             )
+        if self.prefill_chunk_tokens is not None and self.prefill_chunk_tokens < 1:
+            raise ValueError(
+                "prefill_chunk_tokens must be >= 1 or None, got "
+                f"{self.prefill_chunk_tokens}"
+            )
 
 
 class TokenServingEngine:
     """One autoregressive serving deployment: sessions → steps → tokens.
 
-    Use one engine instance per scenario run (KV state, worker windows
-    and telemetry persist across steps within a run, deliberately).
+    Use one engine instance per scenario run (KV state, cached
+    prefixes, worker windows and telemetry persist across steps within
+    a run, deliberately).
     """
 
     def __init__(
@@ -194,6 +241,7 @@ class TokenServingEngine:
             memory=memory,
             block_tokens=self.config.block_tokens,
             kv_fraction=self.config.kv_fraction,
+            prefix_cache=self.config.prefix_caching and self.config.continuous,
         )
         self.clock = SimulatedClock()
         self.telemetry = EngineTelemetry()
@@ -224,15 +272,20 @@ class TokenServingEngine:
         waiting: Dict[int, Deque[DecodeSession]],
         running: List[DecodeSession],
     ) -> None:
+        # Decref, never free: shared prefix blocks the victim attached
+        # stay cached for their other readers (and for the victim's own
+        # resume), only its private blocks return to the pool.
         self.kv.release(session.session_id)
         running.remove(session)
         session.status = RequestStatus.PREEMPTED
         session.preemptions += 1
+        session.prefill_done = 0
+        session.prefill_target = 0
         waiting.setdefault(session.priority, deque()).appendleft(session)
         self.telemetry.record_preemption(session)
 
     # ------------------------------------------------------------------
-    # Admission (prefill scheduling)
+    # Admission (prefix attach + prefill scheduling)
     # ------------------------------------------------------------------
     def _admit(
         self,
@@ -243,12 +296,16 @@ class TokenServingEngine:
         """Admit waiting sessions into the running batch at time ``now``.
 
         Continuous mode reserves the *actual* context (prompt +
-        generated so far, plus one slot for the step's new token) and
-        may preempt strictly-lower-class running sessions to make room;
-        static mode reserves the worst-case ``prompt + decode`` span and
-        never preempts (the whole point of comparing the two).
-        Admission stops at the first head-of-class that does not fit, so
-        per-class FIFO order is never reordered by size.
+        generated so far, plus one slot for the step's new token),
+        attaching cached prefix blocks where the prompt's head is
+        already resident, and may preempt strictly-lower-class running
+        sessions to make room; static mode reserves the worst-case
+        ``prompt + decode`` span cold and never preempts (the whole
+        point of comparing the two).  Admission stops at the first
+        head-of-class that does not fit, so per-class FIFO order is
+        never reordered by size.  An admitted session's prefill state
+        is (re)initialised here: ``prefill_target`` is the context to
+        rebuild, ``prefill_done`` starts at the cached prefix length.
         """
         admitted: List[DecodeSession] = []
         cfg = self.config
@@ -258,6 +315,7 @@ class TokenServingEngine:
         prefill_cap = (
             cfg.max_prefills_per_step if cfg.continuous else cfg.max_batch_size
         )
+        use_prefix = cfg.continuous and cfg.prefix_caching
         while (
             len(running) < cfg.max_batch_size
             and len(admitted) < prefill_cap
@@ -270,15 +328,32 @@ class TokenServingEngine:
                 if cfg.continuous
                 else candidate.max_context_len
             )
-            if not self.kv.can_reserve(tokens) and cfg.continuous and cfg.preemption:
-                self._preempt_for_admission(candidate, tokens, waiting, running)
-            if not self.kv.reserve(candidate.session_id, tokens):
+            prompt_tokens = candidate.prompt_tokens if use_prefix else None
+            reserved = self.kv.reserve(
+                candidate.session_id, tokens, prompt_tokens=prompt_tokens
+            )
+            if not reserved and cfg.continuous and cfg.preemption:
+                self._preempt_for_admission(
+                    candidate, tokens, prompt_tokens, waiting, running
+                )
+                reserved = self.kv.reserve(
+                    candidate.session_id, tokens, prompt_tokens=prompt_tokens
+                )
+            if not reserved:
                 break
             waiting[candidate.priority].popleft()
             candidate.status = RequestStatus.RUNNING
             if candidate.admit_time is None:
                 candidate.admit_time = now
             candidate.admit_order = next(self._admit_seq)
+            cached = self.kv.session_cached_tokens(candidate.session_id)
+            candidate.prefill_target = candidate.context_len
+            candidate.prefill_done = min(cached, candidate.prefill_target)
+            candidate.cached_prompt_tokens += candidate.prefill_done
+            if prompt_tokens is not None:
+                self.telemetry.record_prefix(
+                    len(prompt_tokens), candidate.prefill_done
+                )
             running.append(candidate)
             admitted.append(candidate)
         return admitted
@@ -287,17 +362,32 @@ class TokenServingEngine:
         self,
         candidate: DecodeSession,
         tokens: int,
+        prompt_tokens,
         waiting: Dict[int, Deque[DecodeSession]],
         running: List[DecodeSession],
     ) -> None:
         """Evict strictly-lower-class running sessions for ``candidate``.
 
-        Victims are taken lowest class first, youngest admission first
-        (least sunk prefill work), and only if evicting every eligible
-        victim would actually make the reservation fit — a hopeless
-        preemption spree would shed work without admitting anyone.
+        ``need`` is the candidate's footprint in *free-capacity* terms:
+        cached prompt blocks already pinned by running sessions attach
+        for free, so they are excluded — sizing by the raw block count
+        would over-preempt (or hopelessly stall) exactly the
+        shared-prefix fleets this cache serves.  (Idle matched blocks
+        still count: attaching them consumes reclaimable capacity.  If
+        a victim was a matched block's only pinner, releasing it both
+        grows ``free_blocks`` and un-pins that block by one — the two
+        effects cancel, so the fixed ``need`` stays exact.)  Victims
+        are taken lowest class first, youngest admission first (least
+        sunk prefill work), and only if evicting every eligible victim
+        could make the reservation fit — a hopeless preemption spree
+        would shed work without admitting anyone.  The reclaimable
+        estimate counts victims' table sizes, which is optimistic when
+        victims share prefix blocks with survivors (shared blocks stay
+        pinned); the subsequent ``reserve`` remains the ground truth.
         """
-        need = self.kv.blocks_for(tokens)
+        need = self.kv.blocks_for(tokens) - self.kv.attachable_pinned_blocks(
+            prompt_tokens
+        )
         victims = sorted(
             (s for s in running if s.priority < candidate.priority),
             key=lambda s: (s.priority, -s.admit_order),
@@ -314,23 +404,27 @@ class TokenServingEngine:
             self._requeue_preempted(victim, waiting, running)
 
     # ------------------------------------------------------------------
-    # KV growth (one token per running session, preempt under pressure)
+    # KV growth (one token per decoding session, preempt under pressure)
     # ------------------------------------------------------------------
     def _grow_for_step(
         self,
         waiting: Dict[int, Deque[DecodeSession]],
         running: List[DecodeSession],
+        growers: Sequence[DecodeSession],
     ) -> None:
-        """Extend every running session's residency for this step's token.
+        """Extend each decoding session's residency for this step's token.
 
-        Highest class grows first (oldest admission breaking ties).  A
-        session that cannot grow preempts the youngest not-yet-grown
-        strictly-lower-class session; with no such victim it preempts
+        ``growers`` are the sessions decoding this step — sessions still
+        mid-prefill reserved their full context at admission and grow
+        nothing.  Highest class grows first (oldest admission breaking
+        ties).  A session that cannot grow preempts the youngest
+        not-yet-grown strictly-lower-class *running* session (prefilling
+        sessions are eligible victims); with no such victim it preempts
         *itself* — backpressure requeue, which is why the loop cannot
         deadlock on a full block pool.
         """
         order = sorted(
-            list(running),
+            list(growers),
             key=lambda s: (-s.priority, s.admit_order),
         )
         grown: set = set()
@@ -383,48 +477,91 @@ class TokenServingEngine:
                     continue
                 waiting.setdefault(arrival.priority, deque()).append(arrival)
 
-            prefills: List[DecodeSession] = []
             if cfg.continuous or not running:
-                prefills = self._admit(waiting, running, t)
+                self._admit(waiting, running, t)
+
+            # Plan this step's prefill chunks (applied only after the
+            # growth pass settles preemption): each session mid-prefill
+            # advances by at most prefill_chunk_tokens of its uncached
+            # suffix, attending over everything resident so far.
+            chunk_cap = cfg.prefill_chunk_tokens if cfg.continuous else None
+            plan: List[Tuple[DecodeSession, int, int]] = []
+            for s in running:
+                if s.prefilling:
+                    q = s.prefill_target - s.prefill_done
+                    if chunk_cap is not None:
+                        q = min(q, chunk_cap)
+                    plan.append((s, s.prefill_done, q))
+            done_after = {s.session_id: s.prefill_done + q for s, _, q in plan}
+
             if cfg.continuous:
-                self._grow_for_step(waiting, running)
+                # Sessions whose prefill completes within this step
+                # decode in this same step (a fully cached prompt costs
+                # zero GEMM time but still one scheduling step).
+                decoders = [
+                    s
+                    for s in running
+                    if done_after.get(s.session_id, s.prefill_done)
+                    >= s.prefill_target
+                ]
+                self._grow_for_step(waiting, running, decoders)
                 # A session admitted above but preempted during growth
-                # never joins this step's batch — it must not be priced
-                # as a prefill here (it pays the prefill when readmitted).
-                prefills = [s for s in prefills if s in running]
+                # never joins this step's batch — its chunk must not be
+                # priced (it re-prefills when readmitted).
+                plan = [(s, c, q) for s, c, q in plan if s in running]
+                decoders = [s for s in decoders if s in running]
+            else:
+                decoders = list(running)
             if not running:
                 continue  # everything admitted got preempted; retry at t
 
-            # Price the step: token-parallel GEMMs at the slot count plus
-            # each slot's attention read.  Finished sessions padding a
-            # static batch attend at their frozen final context — the
-            # wasted work request-level batching pays until its longest
-            # member drains.
-            lens = tuple(
-                s.max_context_len if s.finished else s.context_len + 1
-                for s in running
-            )
-            prefill_lens = tuple(s.context_len for s in prefills)
+            for s, _, q in plan:
+                s.prefill_done += q
+                # A completed prefill makes its prompt blocks attachable:
+                # publication waits for the chunks that compute the KV,
+                # so followers never share state that does not exist yet
+                # on the simulated timeline.
+                if (
+                    not s.prefilling
+                    and s.prompt_tokens is not None
+                    and self.kv.prefix is not None
+                ):
+                    self.kv.publish(s.session_id, s.prompt_tokens)
+
+            # Price the step: token-parallel GEMMs at the decode slot
+            # count plus each slot's attention read, plus this step's
+            # prefill chunks over their resident contexts.  Finished
+            # sessions padding a static batch attend at their frozen
+            # final context — the wasted work request-level batching
+            # pays until its longest member drains.
+            if cfg.continuous:
+                lens = tuple(s.context_len + 1 for s in decoders)
+            else:
+                lens = tuple(
+                    s.max_context_len if s.finished else s.context_len + 1
+                    for s in decoders
+                )
+            chunks = tuple((c, q) for _, c, q in plan)
             step_s = self.service.step_latency(name, lens)
-            for plen in prefill_lens:
-                step_s += self.service.prefill(name, plen)
+            for c, q in chunks:
+                step_s += self.service.chunked_prefill(name, q, c)
 
             worker = self.pool.route(name, t)
             if worker is None:
                 t = max(t, self.pool.next_free_time(name))
                 worker = self.pool.route(name, t)
-            active = sum(1 for s in running if not s.finished)
-            if cfg.execute:
+            active = sum(1 for s in decoders if not s.finished)
+            if cfg.execute and decoders:
                 outputs = worker.run_batch(
-                    name, model, [s.x for s in running], t, step_s, tokens=active
+                    name, model, [s.x for s in decoders], t, step_s, tokens=active
                 )
             else:
                 outputs = None
-                worker.run_booking(name, len(running), t, step_s, tokens=active)
+                worker.run_booking(name, len(decoders), t, step_s, tokens=active)
 
             t_end = t + step_s
             self.clock.advance_to(t_end)
-            for i, session in enumerate(running):
+            for i, session in enumerate(decoders):
                 if session.finished:
                     continue  # static-mode padding slot
                 session.tokens_generated += 1
@@ -443,7 +580,7 @@ class TokenServingEngine:
                 t,
                 name,
                 lens,
-                prefill_lens,
+                chunks,
                 active,
                 step_s,
                 self.kv.used_blocks,
@@ -468,9 +605,11 @@ class TokenServingEngine:
 
         Every recorded step latency is re-derived from scratch through
         ``arch.inference`` (:func:`decode_step_latency` /
-        :func:`prefill_latency`), bypassing the engine's memos — drift
-        between dispatch accounting and the hardware model shows up as a
-        nonzero ``max_abs_error_s``.
+        :func:`chunked_prefill_latency`), bypassing the engine's memos —
+        drift between dispatch accounting and the hardware model shows
+        up as a nonzero ``max_abs_error_s``.  The check covers chunked
+        steps: each recorded (resident_context, chunk_len) pair reprices
+        independently.
         """
         horizon = max(scenario.duration_s, self.telemetry.makespan())
         out = self.telemetry.summary(horizon, ttft_slo_s=self.profile.ttft_slo_s)
@@ -491,13 +630,18 @@ class TokenServingEngine:
                 )
             return shape_cache[batch]
 
-        def step_fn(model, context_lens, prefill_lens):
-            total = decode_step_latency(
-                shapes_at(len(context_lens)), context_lens, kv_spec, accelerator
-            )["step_latency_s"]
-            for plen in prefill_lens:
-                total += prefill_latency(
-                    shapes_at(plen), plen, kv_spec, accelerator
+        def step_fn(model, context_lens, prefill_chunks):
+            total = 0.0
+            if context_lens:
+                total += decode_step_latency(
+                    shapes_at(len(context_lens)),
+                    context_lens,
+                    kv_spec,
+                    accelerator,
+                )["step_latency_s"]
+            for ctx, chunk in prefill_chunks:
+                total += chunked_prefill_latency(
+                    shapes_at(chunk), chunk, ctx, kv_spec, accelerator
                 )
             return total
 
@@ -518,7 +662,9 @@ def sequential_decode_outputs(
     Runs each session's full recurrence alone through a fresh
     weight-static executor; the engine's per-token outputs must match
     these **bit-exactly** for every batch composition the scheduler
-    formed — the correctness bar of the continuous-batching benchmark.
+    formed — and regardless of prefix caching or chunking, since KV
+    reuse changes *when* prefill work is priced, never *what* the
+    decode recurrence computes.
     """
     executor = executor or PhotonicExecutor()
     outputs: Dict[int, List[np.ndarray]] = {}

@@ -22,7 +22,7 @@ the profile's :class:`~repro.nn.attention.KVCacheSpec`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -107,6 +107,7 @@ class DecodeSession:
     decode_len: int
     arrival_time: float
     priority: int = Priority.BATCH
+    prompt_tokens: Optional[Tuple[int, ...]] = None
     x: Optional[np.ndarray] = None
     status: str = RequestStatus.QUEUED
     tokens_generated: int = 0
@@ -116,12 +117,33 @@ class DecodeSession:
     first_token_time: Optional[float] = None
     finish_time: Optional[float] = None
     outputs: List[np.ndarray] = field(default_factory=list)
+    # Prefill progress, (re)set at each admission by the scheduler:
+    # context tokens with valid KV vs the context the session must
+    # rebuild before decoding (prompt + tokens generated pre-preemption).
+    prefill_done: int = 0
+    prefill_target: int = 0
+    # Cumulative prompt tokens served from the shared-prefix cache
+    # across all of this session's admissions (prefill work avoided).
+    cached_prompt_tokens: int = 0
 
     def __post_init__(self):
         if self.prompt_len < 1:
             raise ValueError(f"prompt_len must be >= 1, got {self.prompt_len}")
         if self.decode_len < 1:
             raise ValueError(f"decode_len must be >= 1, got {self.decode_len}")
+        if self.prompt_tokens is not None:
+            self.prompt_tokens = tuple(int(t) for t in self.prompt_tokens)
+            if len(self.prompt_tokens) != self.prompt_len:
+                raise ValueError(
+                    f"prompt_tokens carries {len(self.prompt_tokens)} ids "
+                    f"but prompt_len is {self.prompt_len}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def prefilling(self) -> bool:
+        """KV still being rebuilt — not yet decoding."""
+        return self.prefill_done < self.prefill_target
 
     # ------------------------------------------------------------------
     @property
@@ -174,7 +196,9 @@ def build_sessions(
     identical across engines regardless of admission order — the
     property the bit-exactness check against sequential batch-1 decode
     rests on.  Arrivals without length fields (plain request traffic)
-    degenerate to 1-prompt/1-token sessions.
+    degenerate to 1-prompt/1-token sessions; six-field arrivals (the
+    shared-prefix scenarios) additionally carry the prompt's token ids,
+    which the engine's prefix cache content-addresses for KV reuse.
     """
     sessions: List[DecodeSession] = []
     dim = profile.input_dim()
@@ -188,6 +212,11 @@ def build_sessions(
         priority = arrival[2] if len(arrival) > 2 else 0
         prompt_len = int(arrival[3]) if len(arrival) > 4 else 1
         decode_len = int(arrival[4]) if len(arrival) > 4 else 1
+        prompt_tokens = (
+            tuple(int(t_id) for t_id in arrival[5])
+            if len(arrival) > 5 and arrival[5] is not None
+            else None
+        )
         rng = np.random.default_rng([seed, i])
         sessions.append(
             DecodeSession(
@@ -197,6 +226,7 @@ def build_sessions(
                 decode_len,
                 float(t),
                 priority=priority,
+                prompt_tokens=prompt_tokens,
                 x=rng.standard_normal(dim),
             )
         )

@@ -266,28 +266,43 @@ class Telemetry:
 # ----------------------------------------------------------------------
 @dataclass
 class _StepRecord:
-    """One iteration-level engine step: batch shape, cost, KV pressure."""
+    """One iteration-level engine step: batch shape, cost, KV pressure.
+
+    ``prefill_chunks`` holds one ``(resident_context, chunk_len)`` pair
+    per prefill slice the step absorbed — a monolithic prefill is the
+    single pair ``(0, prompt_len)``; prefix-cached and chunked prefills
+    carry the already-resident context their chunk attends over.
+    """
 
     t: float
     model: str
     batch: int
     active: int
     context_lens: Tuple[int, ...]
-    prefill_lens: Tuple[int, ...]
+    prefill_chunks: Tuple[Tuple[int, int], ...]
     step_s: float
     kv_blocks: int
     kv_occupancy: float
 
 
+@dataclass
+class _PrefixRecord:
+    """One admission-time prefix-cache lookup."""
+
+    prompt_tokens: int  # prompt ids presented to the cache
+    cached_tokens: int  # context tokens served from cache (no prefill)
+
+
 class EngineTelemetry:
-    """Token-serving metrics: TTFT, TPOT, tokens/s, KV pressure.
+    """Token-serving metrics: TTFT, TPOT, tokens/s, KV and prefix reuse.
 
     Sessions are duck-typed (:class:`repro.serve.engine.DecodeSession`):
     anything with ``priority``/``ttft``/``tpot``/``decode_len``/
     ``finish_time``/``preemptions`` records.  Per-step records keep the
-    exact batch composition (context and prefill lengths), so the report
-    can re-derive every step's latency from
-    :func:`repro.arch.inference.decode_step_latency` and prove the
+    exact batch composition (context lengths and prefill chunks), so the
+    report can re-derive every step's latency from
+    :func:`repro.arch.inference.decode_step_latency` /
+    :func:`repro.arch.inference.chunked_prefill_latency` and prove the
     engine's accounting matches the analytic hardware model — the same
     cross-check discipline as request-level :class:`Telemetry`.
     """
@@ -298,6 +313,7 @@ class EngineTelemetry:
         self.steps: List[_StepRecord] = []
         self.preemptions = 0
         self.preemptions_by_class: Counter = Counter()
+        self.prefix_records: List[_PrefixRecord] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -307,7 +323,7 @@ class EngineTelemetry:
         t: float,
         model: str,
         context_lens: Sequence[int],
-        prefill_lens: Sequence[int],
+        prefill_chunks: Sequence[Tuple[int, int]],
         active: int,
         step_s: float,
         kv_blocks: int,
@@ -320,7 +336,7 @@ class EngineTelemetry:
                 len(context_lens),
                 active,
                 tuple(context_lens),
-                tuple(prefill_lens),
+                tuple((int(c), int(q)) for c, q in prefill_chunks),
                 step_s,
                 kv_blocks,
                 kv_occupancy,
@@ -336,6 +352,11 @@ class EngineTelemetry:
     def record_preemption(self, session) -> None:
         self.preemptions += 1
         self.preemptions_by_class[session.priority] += 1
+
+    def record_prefix(self, prompt_tokens: int, cached_tokens: int) -> None:
+        """One admission's prefix-cache outcome (lookups only — an
+        engine with caching disabled records nothing here)."""
+        self.prefix_records.append(_PrefixRecord(prompt_tokens, cached_tokens))
 
     # ------------------------------------------------------------------
     # Reductions
@@ -393,6 +414,54 @@ class EngineTelemetry:
             "peak_blocks": max(r.kv_blocks for r in self.steps),
         }
 
+    def prefill_tokens_priced(self) -> int:
+        """Prompt/context tokens whose prefill GEMMs were actually
+        scheduled (sum of every step's chunk lengths) — what the prefix
+        cache shrinks relative to the tokens sessions *needed* resident."""
+        return sum(q for r in self.steps for _, q in r.prefill_chunks)
+
+    def prefix_stats(self) -> Dict[str, float]:
+        """Shared-prefix cache effectiveness at the token level.
+
+        ``prefill_tokens_saved`` counts context tokens served from cache
+        at admission; ``cached_token_fraction`` is their share of all
+        context tokens admissions needed resident (saved + priced);
+        ``hit_rate`` is the fraction of cache lookups that reused at
+        least one token.  Engines with caching disabled report zeros.
+        """
+        saved = sum(r.cached_tokens for r in self.prefix_records)
+        priced = self.prefill_tokens_priced()
+        lookups = len(self.prefix_records)
+        return {
+            "lookups": lookups,
+            "hit_rate": (
+                sum(1 for r in self.prefix_records if r.cached_tokens > 0)
+                / lookups
+                if lookups
+                else 0.0
+            ),
+            "prefill_tokens_saved": saved,
+            "prefill_tokens_priced": priced,
+            "cached_token_fraction": (
+                saved / (saved + priced) if saved + priced else 0.0
+            ),
+        }
+
+    def ttft_jitter(self) -> Dict[str, float]:
+        """TTFT spread — what chunked prefill exists to bound.
+
+        ``p99_minus_p50_s`` is the headline jitter number (tail latency
+        over the typical first token); ``std_s`` the full-distribution
+        spread.
+        """
+        ttfts = self.ttfts()
+        if not ttfts:
+            return {"std_s": 0.0, "p99_minus_p50_s": 0.0}
+        return {
+            "std_s": float(np.std(np.asarray(ttfts, dtype=np.float64))),
+            "p99_minus_p50_s": percentile(ttfts, 99) - percentile(ttfts, 50),
+        }
+
     def ttft_slo_attainment(
         self, slo_s: float, priority: Optional[int] = None
     ) -> float:
@@ -418,14 +487,16 @@ class EngineTelemetry:
     ) -> Dict[str, float]:
         """Re-derive every step's cost from the analytic decode model.
 
-        ``step_fn(model, context_lens, prefill_lens)`` must reproduce
-        each recorded ``step_s`` exactly, or the engine's dispatch
-        accounting has drifted from ``arch.inference``.
+        ``step_fn(model, context_lens, prefill_chunks)`` must reproduce
+        each recorded ``step_s`` exactly — including steps that carry
+        chunked or prefix-trimmed prefills (each ``(resident_context,
+        chunk_len)`` pair reprices independently) — or the engine's
+        dispatch accounting has drifted from ``arch.inference``.
         """
         if not self.steps:
             return {"max_abs_error_s": 0.0, "checked_steps": 0}
         errs = [
-            abs(r.step_s - step_fn(r.model, r.context_lens, r.prefill_lens))
+            abs(r.step_s - step_fn(r.model, r.context_lens, r.prefill_chunks))
             for r in self.steps
         ]
         return {
@@ -444,11 +515,13 @@ class EngineTelemetry:
             "tokens": self.tokens_generated(),
             "tokens_per_s": self.tokens_per_s(horizon_s),
             "ttft": summarize_latencies(self.ttfts()),
+            "ttft_jitter": self.ttft_jitter(),
             "tpot_s": self.mean_tpot(),
             "steps": len(self.steps),
             "mean_batch_size": self.mean_batch_size(),
             "preemptions": self.preemptions,
             "kv": self.kv_stats(),
+            "prefix": self.prefix_stats(),
         }
         if ttft_slo_s is not None:
             out["ttft_slo_s"] = ttft_slo_s

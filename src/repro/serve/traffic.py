@@ -22,6 +22,20 @@ load patterns a production deployment sees:
   its own class mix (e.g. an interactive-heavy tenant sharing the pool
   with a batch-analytics tenant).
 
+Autoregressive-session traffic (the token serving engine) extends
+arrivals with prompt/decode lengths (``decode_scenario``) and — for the
+shared-prefix KV cache — with the prompt's actual **token ids**, so the
+engine can content-address common prompt heads:
+
+* **shared prefix** — a fleet where most sessions open with one common
+  system prompt followed by a unique suffix (the 90 %-shared regime the
+  prefix cache is benchmarked on);
+* **few-shot pools** — a handful of few-shot templates of varying
+  length, each arrival sampling one template plus a unique question;
+* **multi-turn** — conversations re-submitting their growing history:
+  each turn's prompt extends the previous turn's prompt, so all but the
+  newest turn's tokens hit a warm prefix.
+
 Inhomogeneous rates use Lewis-Shedler thinning against the peak rate, so
 arrival statistics are exact, not binned.  Unbounded-memory and
 divide-by-zero corner cases are validated away: generators draw in
@@ -53,6 +67,9 @@ __all__ = [
     "priority_scenario",
     "multi_tenant_priority_scenario",
     "decode_scenario",
+    "shared_prefix_scenario",
+    "fewshot_pool_scenario",
+    "multiturn_scenario",
     "SCENARIO_NAMES",
 ]
 
@@ -64,14 +81,20 @@ SCENARIO_NAMES = (
     "priority",
     "multi_tenant_priority",
     "decode",
+    "shared_prefix",
+    "fewshot_pool",
+    "multiturn",
 )
 
 # Arrivals are (time, model), (time, model, priority), or — for
-# autoregressive sessions — (time, model, priority, prompt_len, decode_len).
+# autoregressive sessions — (time, model, priority, prompt_len,
+# decode_len), optionally extended with the prompt's token ids:
+# (time, model, priority, prompt_len, decode_len, prompt_tokens).
 Arrival = Union[
     Tuple[float, str],
     Tuple[float, str, int],
     Tuple[float, str, int, int, int],
+    Tuple[float, str, int, int, int, Tuple[int, ...]],
 ]
 
 # Cap on exponential-gap draws per chunk: keeps peak memory O(_CHUNK) no
@@ -417,6 +440,19 @@ def multi_tenant_priority_scenario(
     return Scenario("multi_tenant_priority", arrivals, duration)
 
 
+def _tag_classes(
+    times: np.ndarray,
+    model: str,
+    class_mix: Optional[Dict[int, float]],
+    rng: np.random.Generator,
+) -> Tuple[Tuple[float, str, int], ...]:
+    """Single-model arrivals with priority classes (default class 0)."""
+    tagged = assign_models(times, {model: 1.0}, rng)
+    if class_mix:
+        return assign_priorities(tagged, class_mix, rng)
+    return tuple((t, m, 0) for t, m in tagged)
+
+
 def decode_scenario(
     model: str,
     rate: float,
@@ -442,11 +478,7 @@ def decode_scenario(
     """
     rng = np.random.default_rng(seed)
     times = poisson_arrivals(rate, duration, rng)
-    tagged = assign_models(times, {model: 1.0}, rng)
-    if class_mix:
-        tagged = assign_priorities(tagged, class_mix, rng)
-    else:
-        tagged = tuple((t, m, 0) for t, m in tagged)
+    tagged = _tag_classes(times, model, class_mix, rng)
     prompts = lognormal_lengths(
         len(tagged), prompt_median, prompt_sigma, rng, maximum=prompt_max
     )
@@ -458,3 +490,177 @@ def decode_scenario(
         for i, (t, m, p) in enumerate(tagged)
     )
     return Scenario("decode", arrivals, duration)
+
+
+# ----------------------------------------------------------------------
+# Shared-prefix session traffic (prefix-cache workloads)
+# ----------------------------------------------------------------------
+# Token ids are opaque content identifiers the engine's prefix cache
+# hashes per block; a GPT-2-sized vocabulary keeps collisions of
+# *random* suffixes with a shared head vanishingly unlikely.
+_VOCAB = 50257
+
+
+def _token_ids(n: int, rng: np.random.Generator) -> Tuple[int, ...]:
+    return tuple(int(t) for t in rng.integers(0, _VOCAB, size=n))
+
+
+def shared_prefix_scenario(
+    model: str,
+    rate: float,
+    duration: float,
+    prefix_len: int = 64,
+    shared_fraction: float = 0.9,
+    suffix_median: float = 8.0,
+    suffix_sigma: float = 0.5,
+    decode_mean: float = 8.0,
+    class_mix: Optional[Dict[int, float]] = None,
+    suffix_max: Optional[int] = None,
+    decode_max: Optional[int] = None,
+    seed: int = 0,
+) -> Scenario:
+    """A fleet sharing one system prompt: the prefix cache's home turf.
+
+    Poisson session arrivals where a ``shared_fraction`` of prompts open
+    with the *same* ``prefix_len``-token system prompt followed by a
+    unique lognormal-length suffix; the rest are cold prompts of the
+    same total-length distribution (so cache wins come from sharing,
+    not shorter prompts).  Draw order is fixed (times, classes,
+    suffixes, decodes, shared mask, per-arrival tokens), so the trace is
+    deterministic in the seed.
+    """
+    if prefix_len < 1:
+        raise ValueError(f"prefix_len must be >= 1, got {prefix_len}")
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ValueError(
+            f"shared_fraction must be in [0, 1], got {shared_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    times = poisson_arrivals(rate, duration, rng)
+    tagged = _tag_classes(times, model, class_mix, rng)
+    n = len(tagged)
+    suffixes = lognormal_lengths(
+        n, suffix_median, suffix_sigma, rng, maximum=suffix_max
+    )
+    decodes = geometric_lengths(n, decode_mean, rng, maximum=decode_max)
+    shared = rng.random(n) < shared_fraction
+    system_prompt = _token_ids(prefix_len, rng)
+    arrivals: List[Arrival] = []
+    for i, (t, m, p) in enumerate(tagged):
+        if shared[i]:
+            tokens = system_prompt + _token_ids(int(suffixes[i]), rng)
+        else:
+            tokens = _token_ids(prefix_len + int(suffixes[i]), rng)
+        arrivals.append((t, m, p, len(tokens), int(decodes[i]), tokens))
+    return Scenario("shared_prefix", tuple(arrivals), duration)
+
+
+def fewshot_pool_scenario(
+    model: str,
+    rate: float,
+    duration: float,
+    templates: int = 4,
+    template_median: float = 48.0,
+    template_sigma: float = 0.3,
+    template_weights: Optional[Sequence[float]] = None,
+    suffix_median: float = 8.0,
+    suffix_sigma: float = 0.5,
+    decode_mean: float = 8.0,
+    class_mix: Optional[Dict[int, float]] = None,
+    seed: int = 0,
+) -> Scenario:
+    """A pool of few-shot templates: several hot prefixes at once.
+
+    Each arrival samples one of ``templates`` fixed few-shot prompts
+    (lognormal lengths around ``template_median``) by popularity —
+    Zipf-like ``1/(k+1)`` weights unless ``template_weights`` is given —
+    and appends a unique question suffix.  The prefix cache must keep
+    several radix paths warm simultaneously and evict the cold tail.
+    """
+    if templates < 1:
+        raise ValueError(f"templates must be >= 1, got {templates}")
+    if template_weights is not None and len(template_weights) != templates:
+        raise ValueError(
+            f"template_weights must name all {templates} templates, got "
+            f"{len(template_weights)}"
+        )
+    rng = np.random.default_rng(seed)
+    times = poisson_arrivals(rate, duration, rng)
+    tagged = _tag_classes(times, model, class_mix, rng)
+    n = len(tagged)
+    template_lens = lognormal_lengths(
+        templates, template_median, template_sigma, rng
+    )
+    pool = [_token_ids(int(length), rng) for length in template_lens]
+    weights = np.array(
+        template_weights
+        if template_weights is not None
+        else [1.0 / (k + 1) for k in range(templates)],
+        dtype=np.float64,
+    )
+    if np.any(weights < 0) or weights.sum() <= 0:
+        raise ValueError(f"bad template weights {weights}")
+    picks = rng.choice(templates, size=n, p=weights / weights.sum())
+    suffixes = lognormal_lengths(n, suffix_median, suffix_sigma, rng)
+    decodes = geometric_lengths(n, decode_mean, rng)
+    arrivals: List[Arrival] = []
+    for i, (t, m, p) in enumerate(tagged):
+        tokens = pool[int(picks[i])] + _token_ids(int(suffixes[i]), rng)
+        arrivals.append((t, m, p, len(tokens), int(decodes[i]), tokens))
+    return Scenario("fewshot_pool", tuple(arrivals), duration)
+
+
+def multiturn_scenario(
+    model: str,
+    rate: float,
+    duration: float,
+    turns: int = 3,
+    think_time_s: float = 1e-8,
+    prompt_median: float = 16.0,
+    prompt_sigma: float = 0.5,
+    turn_tokens_median: float = 12.0,
+    turn_sigma: float = 0.5,
+    decode_mean: float = 8.0,
+    class_mix: Optional[Dict[int, float]] = None,
+    seed: int = 0,
+) -> Scenario:
+    """Multi-turn conversations re-submitting a growing history.
+
+    ``rate`` starts conversations (Poisson); each runs ``turns``
+    rounds, re-submitting after an exponential ``think_time_s`` gap a
+    prompt that **extends** the previous turn's prompt with fresh
+    tokens (the reply context plus the new user turn).  Every turn
+    after the first therefore re-presents the whole earlier history —
+    the warm-prefix re-submission pattern, where the cache should trim
+    prefill to roughly the newest turn.  Turn arrivals may land past
+    ``duration`` (conversation tails drain after the horizon).
+    """
+    if turns < 1:
+        raise ValueError(f"turns must be >= 1, got {turns}")
+    _check_finite(think_time_s=think_time_s)
+    if think_time_s < 0:
+        raise ValueError(f"think_time_s must be >= 0, got {think_time_s}")
+    rng = np.random.default_rng(seed)
+    starts = poisson_arrivals(rate, duration, rng)
+    tagged = _tag_classes(starts, model, class_mix, rng)
+    arrivals: List[Arrival] = []
+    for t0, m, p in tagged:
+        tokens = _token_ids(
+            int(lognormal_lengths(1, prompt_median, prompt_sigma, rng)[0]), rng
+        )
+        t = float(t0)
+        for turn in range(turns):
+            if turn > 0:
+                t += float(rng.exponential(think_time_s)) if think_time_s else 0.0
+                tokens = tokens + _token_ids(
+                    int(
+                        lognormal_lengths(
+                            1, turn_tokens_median, turn_sigma, rng
+                        )[0]
+                    ),
+                    rng,
+                )
+            decode_len = int(geometric_lengths(1, decode_mean, rng)[0])
+            arrivals.append((t, m, p, len(tokens), decode_len, tokens))
+    arrivals.sort(key=lambda a: a[0])
+    return Scenario("multiturn", tuple(arrivals), duration)

@@ -5,6 +5,7 @@ import pytest
 from repro.arch.accelerator import MirageAccelerator
 from repro.arch.inference import (
     attention_token_latency,
+    chunked_prefill_latency,
     decode_step_latency,
     inference_latency,
     microbatch_latency,
@@ -122,8 +123,50 @@ class TestPrefillLatency:
         assert bare == microbatch_latency(mlp_layers(batch=8), accelerator)
         assert bare < short
 
+    def test_zero_prompt_is_defined_as_free(self):
+        # A fully cached prefix: no GEMM streams (layers and kv are not
+        # consulted), but the admission still costs a scheduling step —
+        # the engine boundary relies on this being exactly 0.0.
+        assert prefill_latency(mlp_layers(), 0, KV) == 0.0
+        assert prefill_latency([], 0, None) == 0.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
-            prefill_latency(mlp_layers(), 0, KV)
+            prefill_latency(mlp_layers(), -1, KV)
         with pytest.raises(ValueError):
             prefill_latency([], 4, KV)
+
+
+class TestChunkedPrefillLatency:
+    def test_single_chunk_matches_prefill_exactly(self):
+        accelerator = MirageAccelerator()
+        for p in (1, 8, 17):
+            assert chunked_prefill_latency(
+                mlp_layers(batch=p), p, 0, KV, accelerator
+            ) == prefill_latency(mlp_layers(batch=p), p, KV, accelerator)
+
+    def test_zero_chunk_is_free(self):
+        assert chunked_prefill_latency(mlp_layers(), 0, 12, KV) == 0.0
+        assert chunked_prefill_latency([], 0, 0, None) == 0.0
+
+    def test_resident_context_raises_attention_cost(self):
+        accelerator = MirageAccelerator()
+        cold = chunked_prefill_latency(mlp_layers(batch=4), 4, 0, KV, accelerator)
+        warm = chunked_prefill_latency(
+            mlp_layers(batch=4), 4, 200, KV, accelerator
+        )
+        assert 0 < cold < warm  # the chunk attends over more history
+
+    def test_kv_none_is_token_parallel_only(self):
+        layers = mlp_layers(batch=4)
+        assert chunked_prefill_latency(layers, 4, 100, None) == (
+            microbatch_latency(layers)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunked_prefill_latency(mlp_layers(), -1, 0, KV)
+        with pytest.raises(ValueError):
+            chunked_prefill_latency(mlp_layers(), 4, -1, KV)
+        with pytest.raises(ValueError):
+            chunked_prefill_latency([], 4, 0, KV)

@@ -61,6 +61,14 @@ class TestExamples:
         assert "max drift 0.0e+00" in result.stdout
         assert "preemptions" in result.stdout
 
+    def test_prefix_sharing_demo(self):
+        result = _run("prefix_sharing_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "prefix reuse cut prefill work" in result.stdout
+        assert "bit-exact vs batch-1 decode: True" in result.stdout
+        assert "max drift 0.0e+00" in result.stdout
+        assert "refcounts balanced at drain: True" in result.stdout
+
     def test_calibration_demo(self):
         result = _run("calibration_demo.py")
         assert result.returncode == 0, result.stderr
@@ -93,6 +101,7 @@ class TestExamples:
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {
             "autoscale_demo.py",
+            "prefix_sharing_demo.py",
             "quickstart.py",
             "train_mirage_vs_fp32.py",
             "design_space_exploration.py",

@@ -421,9 +421,9 @@ class TestEngineScheduling:
             # Every priced prefill must belong to a session in the batch:
             # a batch of one high-class slot cannot carry the victim's
             # 3-token prefill.
-            assert len(record.prefill_lens) <= record.batch
+            assert len(record.prefill_chunks) <= record.batch
             if record.batch == 1 and record.context_lens[0] > 4:
-                assert record.prefill_lens == ()
+                assert record.prefill_chunks == ()
 
     def test_no_preemption_flag_blocks_admission_eviction(self):
         engine = make_engine(

@@ -163,6 +163,7 @@ class TestScenarios:
         assert set(SCENARIO_NAMES) == {
             "poisson", "bursty", "diurnal", "multi_tenant",
             "priority", "multi_tenant_priority", "decode",
+            "shared_prefix", "fewshot_pool", "multiturn",
         }
 
 
