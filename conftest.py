@@ -25,6 +25,7 @@ SMOKE_BENCHES = (
     "bench_autoscale.py",
     "bench_continuous.py",
     "bench_prefix.py",
+    "bench_resilience.py",
 )
 
 

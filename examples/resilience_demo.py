@@ -1,0 +1,200 @@
+"""Resilience demo: deterministic fault injection and fleet recovery.
+
+Quickstart::
+
+    from repro.serve import (FaultPlan, HealthPolicy, TokenServingEngine,
+                             EngineConfig, ExecutorPool)
+
+    plan = FaultPlan.replica_kills([(1e-7, 0)]).merge(
+        FaultPlan.transient_storm(
+            start=1.5e-7, stop=3e-7, rate_per_s=2e7,
+            p_uncorrectable=0.2, seed=7, kv_loss_share=0.1,
+        )
+    )
+    engine = TokenServingEngine(
+        ExecutorPool(3), profile,
+        EngineConfig(recovery=True),
+        health=HealthPolicy(suspect_after_s=1e-8, dead_after_s=3e-8),
+    )
+    engine.run(scenario, seed=5, faults=plan)   # replayable timeline
+
+A :class:`~repro.serve.FaultPlan` is a sorted, seeded schedule of
+fault events — replica crashes, stuck/slow workers, RRNS transient
+compute faults, KV-block loss — replayed against the simulated clock,
+so every failure timeline is exactly reproducible.  The pool tracks
+two health planes: ground truth (``responsive``, flipped the instant a
+replica dies) and the *detected* state (``healthy → suspect → dead``),
+advanced by heartbeat sweeps under a :class:`~repro.serve.HealthPolicy`
+— the gap between the two is detection latency, and sessions homed on
+a silently-dead replica stall through it.
+
+On a ``dead`` declaration the engine rescues the replica's sessions:
+KV released, head-of-class requeue, resume on a surviving replica
+re-prefilling only what the shared-prefix cache cannot supply — and
+the dead replica is replaced, paying the photonic weight-reprogram
+charge.  Transient faults use the paper's RRNS arithmetic: rates come
+from :func:`repro.core.rrns_fault_rates`, correctable faults are fixed
+in-line by the redundant residues, and uncorrectable verdicts void the
+step's commit for the victim session, which recomputes it
+bit-identically next step.
+
+This script runs one session trace fault-free, then replays a storm
+(crash + slow worker + transient burst) with recovery on and off, and
+prints the health timeline, the recovery ledger, and the proof that
+completed sessions' token streams never drift.
+"""
+
+import numpy as np
+
+from repro.core import FaultTolerantCore, rrns_fault_rates
+from repro.nn import KVCacheSpec, Linear, Sequential, Tanh
+from repro.serve import (
+    DecodeModelProfile,
+    EngineConfig,
+    ExecutorPool,
+    FaultPlan,
+    HealthPolicy,
+    TokenServingEngine,
+    decode_scenario,
+)
+
+
+def build_profile():
+    rng = np.random.default_rng(0)
+    return DecodeModelProfile(
+        "chat",
+        Sequential(Linear(16, 32, rng=rng), Tanh(), Linear(32, 16, rng=rng)),
+        KVCacheSpec(num_layers=4, num_heads=8, head_dim=16),
+        replicas=3,
+        ttft_slo_s=2e-3,
+    )
+
+
+def build_engine(recovery, health):
+    return TokenServingEngine(
+        ExecutorPool(3),
+        build_profile(),
+        EngineConfig(
+            max_batch_size=8,
+            block_tokens=16,
+            kv_fraction=0.25,
+            recovery=recovery,
+        ),
+        health=health,
+    )
+
+
+def main():
+    scenario = decode_scenario(
+        "chat",
+        rate=6e8,
+        duration=2e-7,
+        prompt_median=10,
+        decode_mean=8,
+        class_mix={0: 3, 2: 1},
+        seed=11,
+    )
+
+    print("=== fault-free baseline ===")
+    baseline = build_engine(recovery=True, health=None)
+    tel_free = baseline.run(scenario, seed=5)
+    makespan = tel_free.makespan()
+    print(
+        f"  {len(tel_free.sessions)} sessions, makespan {makespan:.3e}s, "
+        f"{tel_free.tokens_generated()} tokens"
+    )
+
+    # The storm, in fractions of the fault-free makespan: one replica
+    # dies mid-ramp, another degrades 3x, and an RRNS transient burst
+    # (rates from the paper's fault tolerant core at p_channel=0.02,
+    # including a KV-loss share) lands on the survivors.
+    rates = rrns_fault_rates(FaultTolerantCore().codec, 0.02)
+    print("\n=== RRNS analytic fault rates (p_channel=0.02) ===")
+    for key in ("detected", "correctable", "uncorrectable"):
+        print(f"  {key:14s} {rates[key]:.4e} per op")
+    plan = (
+        FaultPlan.replica_kills([(0.2 * makespan, 0)])
+        .merge(
+            FaultPlan.slow_worker(
+                0.3 * makespan, 1, factor=3.0, duration_s=0.2 * makespan
+            )
+        )
+        .merge(
+            FaultPlan.from_rrns_rates(
+                rates,
+                op_rate_per_s=60.0 / rates["detected"] / makespan,
+                start=0.35 * makespan,
+                stop=0.7 * makespan,
+                seed=23,
+                kv_loss_share=0.2,
+            )
+        )
+    )
+    health = HealthPolicy(
+        suspect_after_s=makespan / 100.0, dead_after_s=makespan / 40.0
+    )
+    print(f"\n=== storm plan ({len(plan.events)} events) ===")
+    for event in plan.events:
+        extra = ""
+        if event.severity:
+            extra = f" severity={event.severity:.3g}"
+        if event.duration_s:
+            extra += f" for {event.duration_s:.2e}s"
+        print(f"  t={event.t:.3e}s {event.kind:15s} target={event.target}{extra}")
+
+    print("\n=== recovering run ===")
+    engine = build_engine(recovery=True, health=health)
+    tel = engine.run(scenario, seed=5, faults=plan)
+    for tr in tel.health_transitions:
+        print(
+            f"  t={tr['t']:.3e}s worker {tr['worker_id']} "
+            f"{tr['from']} -> {tr['to']} (silent {tr['silent_for_s']:.2e}s)"
+        )
+    for window in tel.unavailability_windows():
+        print(
+            f"  worker {window['worker_id']}: failed {window['failed_at_s']:.3e}s, "
+            f"declared dead {window['dead_at_s']:.3e}s "
+            f"(detection latency {window['detection_s']:.2e}s)"
+        )
+    stats = tel.fault_stats()
+    print(f"  injected: {stats['injected']}")
+    print(
+        f"  transients: {stats['transient_corrected']} corrected in-line, "
+        f"{stats['transient_uncorrectable']} uncorrectable "
+        f"({stats['tokens_retried']} tokens recomputed)"
+    )
+    print(
+        f"  recovery: {stats['sessions_recovered']} sessions rescued, "
+        f"{stats['recovery_reprefill_tokens']} tokens re-prefilled, "
+        f"{stats['kv_blocks_lost']} KV blocks lost, "
+        f"{stats['replicas_replaced']} replicas replaced, "
+        f"stall {stats['stall_s']:.2e}s on the degraded worker"
+    )
+    print(
+        f"  completed {len(tel.sessions)}/{len(tel_free.sessions)} sessions, "
+        f"failed {tel.sessions_failed}, refcounts balanced: "
+        f"{engine.kv.refcounts_balanced()}"
+    )
+
+    free_outputs = {s.session_id: s.outputs for s in tel_free.sessions}
+    drift = sum(
+        1
+        for s in tel.sessions
+        for got, want in zip(s.outputs, free_outputs[s.session_id])
+        if not np.array_equal(got, want)
+    )
+    print(f"  token-stream drift vs fault-free: {drift} rows (must be 0)")
+
+    print("\n=== same storm, recovery disabled ===")
+    bare = build_engine(recovery=False, health=health)
+    tel_bare = bare.run(scenario, seed=5, faults=plan)
+    print(
+        f"  completed {len(tel_bare.sessions)}, "
+        f"failed {tel_bare.sessions_failed}, replacements "
+        f"{tel_bare.replicas_replaced} — the storm costs real sessions "
+        "when nobody re-dispatches them"
+    )
+
+
+if __name__ == "__main__":
+    main()

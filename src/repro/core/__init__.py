@@ -2,7 +2,11 @@
 end-to-end dataflow."""
 
 from .fabricated import FabricatedTensorCore
-from .fault_tolerant import FaultTolerantCore, FaultTolerantStats
+from .fault_tolerant import (
+    FaultTolerantCore,
+    FaultTolerantStats,
+    rrns_fault_rates,
+)
 from .pipeline import PhotonicExecutor, compare_with_reference
 from .tensor_core import CoreConfig, PhotonicRnsTensorCore, ProgrammedWeights
 
@@ -14,5 +18,6 @@ __all__ = [
     "compare_with_reference",
     "FaultTolerantCore",
     "FaultTolerantStats",
+    "rrns_fault_rates",
     "FabricatedTensorCore",
 ]

@@ -15,7 +15,8 @@ discussion trades off against the extra moduli.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from math import comb
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +26,47 @@ from ..photonic.mdpu import MMVMU, NoiseModel
 from ..rns.moduli import ModuliSet
 from ..rns.rrns import RRNSCodec
 
-__all__ = ["FaultTolerantCore", "FaultTolerantStats"]
+__all__ = ["FaultTolerantCore", "FaultTolerantStats", "rrns_fault_rates"]
+
+
+def rrns_fault_rates(codec: RRNSCodec, p_channel: float) -> Dict[str, float]:
+    """Analytic per-output fault probabilities of an RRNS code.
+
+    With each of the ``n + r`` residue channels independently corrupted
+    with probability ``p_channel``, a code with ``r`` redundant moduli
+    detects any ``1..r`` corrupted channels and corrects up to
+    ``floor(r / 2)`` of them (majority subset decode).  Per decoded
+    output:
+
+    * ``detected``      — ≥ 1 channel corrupted: ``1 - (1 - p)^(n+r)``
+      (faults beyond ``r`` simultaneous channels are vanishingly rare at
+      the operating points of interest and counted here too);
+    * ``correctable``   — 1..floor(r/2) channels corrupted (binomial);
+    * ``uncorrectable`` — detected but past the correction bound.
+
+    These are the rates the serving layer's fault injector uses to turn
+    a physical per-channel error rate into a stream of transient faults
+    (:meth:`repro.serve.faults.FaultPlan.from_rrns_rates`), keeping the
+    injected fault mix tied to the paper's RRNS fault model instead of
+    hand-picked constants.
+    """
+    if not 0.0 <= p_channel <= 1.0:
+        raise ValueError(f"p_channel must be in [0, 1], got {p_channel}")
+    n_ch = codec.n + codec.r
+    p = float(p_channel)
+    detected = 1.0 - (1.0 - p) ** n_ch
+    correctable = sum(
+        comb(n_ch, k) * p**k * (1.0 - p) ** (n_ch - k)
+        for k in range(1, codec.max_correctable() + 1)
+    )
+    return {
+        "p_channel": p,
+        "channels": n_ch,
+        "max_correctable_channels": codec.max_correctable(),
+        "detected": detected,
+        "correctable": correctable,
+        "uncorrectable": max(0.0, detected - correctable),
+    }
 
 
 @dataclass
@@ -87,6 +128,14 @@ class FaultTolerantCore:
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
         self.stats = FaultTolerantStats()
+
+    def fault_rates(self, p_channel: float) -> Dict[str, float]:
+        """Analytic per-output fault rates of this core's RRNS code.
+
+        See :func:`rrns_fault_rates`; ``p_channel`` is the probability
+        that any single residue channel yields a corrupted output.
+        """
+        return rrns_fault_rates(self.codec, p_channel)
 
     def matmul(self, w: np.ndarray, x: np.ndarray) -> np.ndarray:
         """``w @ x`` through the noisy RRNS-protected dataflow.

@@ -64,6 +64,41 @@ member and pin worst-case KV for the whole ride (measured as the
 ``continuous``-vs-``static`` gap in ``benchmarks/bench_continuous.py``),
 and why fleets sharing a system prompt don't re-prefill it per session
 (the ``bench_prefix.py`` prefill-token-reduction and TTFT-p99 gates).
+
+Fault plane (:mod:`repro.serve.faults`)
+---------------------------------------
+Both execution models replay deterministic :class:`FaultPlan`\\ s — a
+sorted, seeded schedule of :class:`FaultEvent`\\ s — against the same
+simulated clock::
+
+    FaultPlan ── replica crashes / stuck workers   (worker kinds)
+        │        degraded (slow) workers
+        │        RRNS transient compute faults      (session kinds,
+        │        KV-block loss                       engine only)
+        ▼ FaultInjector.due(now)  — fires each event exactly once
+    ExecutorPool health plane: ground truth (``responsive``) vs the
+        *detected* state (``health``), advanced by FleetMonitor's
+        heartbeat sweeps per HealthPolicy — healthy → suspect → dead;
+        detection latency is real simulated time lost, not hindsight
+        ▼ recovery
+    request-level: in-flight work on the failed worker is stranded,
+        hedged back to the queue head at *suspect*, and the worker is
+        replaced at *dead* (RetryPolicy: per-request deadlines, retry
+        budgets); the replacement pays the weight-reprogram charge.
+    token-level: sessions are *homed* to a replica (KV locality);
+        sessions homed on a dead replica are preempted, their KV freed,
+        and they resume elsewhere re-prefilling only the suffix the
+        shared-prefix cache cannot supply (EngineConfig.recovery;
+        ``max_waiting`` sheds the lowest class under capacity loss).
+        Uncorrectable RRNS verdicts (rates from
+        ``repro.core.rrns_fault_rates``) void a step's commit for the
+        victim session and recompute it bit-identically next step.
+
+``benchmarks/bench_resilience.py`` gates this end to end: a scripted
+storm (two replicas killed mid-ramp plus an RRNS transient burst) must
+keep goodput within 0.9x of fault-free, interactive TTFT SLO
+attainment >= 0.95, decode outputs bit-exact versus the fault-free
+run, and KV refcounts balanced at drain.
 """
 
 from .batcher import BatchPolicy, MicroBatcher
@@ -81,12 +116,22 @@ from .engine import (
     next_token_input,
     sequential_decode_outputs,
 )
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FleetMonitor,
+    HealthPolicy,
+    WorkerHealth,
+)
 from .pool import ExecutorPool, PoolWorker, ROUTING_POLICIES
 from .request import AdmissionQueue, InferenceRequest, Priority, RequestStatus
 from .runtime import (
     Autoscaler,
     AutoscalerPolicy,
     ModelProfile,
+    RetryPolicy,
     ServiceModel,
     ServingRuntime,
     infer_input_dim,
@@ -121,6 +166,12 @@ __all__ = [
     "EngineConfig",
     "EngineTelemetry",
     "ExecutorPool",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FleetMonitor",
+    "HealthPolicy",
     "InferenceRequest",
     "KVBlockManager",
     "MicroBatcher",
@@ -129,6 +180,7 @@ __all__ = [
     "Priority",
     "RadixPrefixIndex",
     "RequestStatus",
+    "RetryPolicy",
     "ROUTING_POLICIES",
     "SCENARIO_NAMES",
     "Scenario",
@@ -137,6 +189,7 @@ __all__ = [
     "SimulatedClock",
     "Telemetry",
     "TokenServingEngine",
+    "WorkerHealth",
     "build_sessions",
     "bursty_scenario",
     "chain_block_hashes",

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .clock import time_at_or_before
-from .request import AdmissionQueue, InferenceRequest
+from .request import AdmissionQueue, InferenceRequest, RequestStatus
 
 __all__ = ["BatchPolicy", "MicroBatcher"]
 
@@ -65,6 +65,7 @@ class MicroBatcher:
 
     def __init__(self, policy: Optional[BatchPolicy] = None):
         self.policy = policy or BatchPolicy()
+        self._expired: List[InferenceRequest] = []
 
     # ------------------------------------------------------------------
     def deadline(self, queue: AdmissionQueue, model: str) -> Optional[float]:
@@ -127,10 +128,39 @@ class MicroBatcher:
     def take_batch(
         self, queue: AdmissionQueue, model: str, now: Optional[float] = None
     ) -> List[InferenceRequest]:
-        """Pop the micro-batch for ``model`` (effective-priority order)."""
-        return queue.pop_batch(
-            model,
-            self.policy.max_batch_size,
-            now=now,
-            aging_rate=self.policy.aging_rate_per_s,
-        )
+        """Pop the micro-batch for ``model`` (effective-priority order).
+
+        Requests whose per-request ``deadline`` has already passed are
+        filtered out *at dispatch* (marked ``TIMED_OUT`` and parked for
+        :meth:`drain_expired`) — launching a batch slot for work nobody
+        is waiting on anymore would burn capacity the storm-degraded
+        fleet needs for live traffic.  The batch refills from the queue
+        until it is full or the queue runs dry.
+        """
+        batch: List[InferenceRequest] = []
+        while len(batch) < self.policy.max_batch_size:
+            want = self.policy.max_batch_size - len(batch)
+            popped = queue.pop_batch(
+                model,
+                want,
+                now=now,
+                aging_rate=self.policy.aging_rate_per_s,
+            )
+            if not popped:
+                break
+            for r in popped:
+                if (
+                    now is not None
+                    and r.deadline is not None
+                    and not time_at_or_before(now, r.deadline)
+                ):
+                    r.status = RequestStatus.TIMED_OUT
+                    self._expired.append(r)
+                else:
+                    batch.append(r)
+        return batch
+
+    def drain_expired(self) -> List[InferenceRequest]:
+        """Deadline-expired requests filtered since the last drain."""
+        out, self._expired = self._expired, []
+        return out

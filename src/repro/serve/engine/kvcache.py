@@ -406,6 +406,53 @@ class KVBlockManager:
         self.releases += 1
         return len(table)
 
+    def discard(self, session_id: int) -> int:
+        """Destructively drop the session's residency (KV **loss**).
+
+        The failure-plane counterpart of :meth:`release`: the session's
+        blocks hold *corrupted or lost* content, so nothing of its table
+        may stay reusable.  Each entry is decref'd leaf-most first; a
+        block whose last reference drops is **destroyed** — published
+        leaves are purged from the prefix index and returned to the free
+        list rather than staying cached.  A published *interior* block
+        with cached descendants from other prompts cannot be removed
+        without orphaning their (intact) content, so it degrades to a
+        plain cached unpin — it was computed by an earlier publisher and
+        its canonical content is not the part this session lost.  Blocks
+        still referenced by other sessions are left pinned untouched
+        (shared prefix heads live in replicated-safe cache state, not on
+        the failed replica's private pages).  Returns the number of
+        physical blocks destroyed.
+        """
+        if session_id not in self._tables:
+            raise KeyError(
+                f"session {session_id} holds no KV blocks "
+                "(unknown or already released)"
+            )
+        table = self._tables.pop(session_id)
+        del self._tokens[session_id]
+        self._cached.pop(session_id, None)
+        destroyed = 0
+        for block_id in reversed(table):  # leaf-most first
+            refs = self._ref[block_id] - 1
+            if refs > 0:
+                self._ref[block_id] = refs
+                continue
+            del self._ref[block_id]
+            self.used_blocks -= 1
+            if self.prefix is not None and block_id in self.prefix:
+                if self.prefix.purge(block_id):
+                    self._free.append(block_id)
+                    destroyed += 1
+                else:
+                    self._tick += 1
+                    self.prefix.unpin(block_id, self._tick)
+            else:
+                self._free.append(block_id)
+                destroyed += 1
+        self.releases += 1
+        return destroyed
+
     # ------------------------------------------------------------------
     # Invariants and telemetry
     # ------------------------------------------------------------------

@@ -145,6 +145,7 @@ class RadixPrefixIndex:
         self.partial_hits = 0
         self.insertions = 0
         self.evictions = 0
+        self.purges = 0  # fault-injected removals (corrupted KV)
 
     # ------------------------------------------------------------------
     def __contains__(self, block_id: int) -> bool:
@@ -305,6 +306,34 @@ class RadixPrefixIndex:
             return block_id
         return None
 
+    def purge(self, block_id: int) -> bool:
+        """Forcibly drop a published **leaf** block (corrupted KV).
+
+        Unlike :meth:`evict_lru` the block need not be idle-LRU-best —
+        fault injection destroyed its content, so it must leave the tree
+        immediately; the caller (the block manager's ``discard``) then
+        returns the physical block to the free list.  Interior nodes are
+        refused (False): their descendants' digests chain through them,
+        so removal would orphan cached blocks whose content is fine —
+        the caller degrades those to a plain unpin instead, and the
+        session-table's leaf-first iteration purges each session's own
+        chain tail-up cleanly.
+        """
+        node = self._by_block.get(block_id)
+        if node is None or node.children:
+            return False
+        del self._by_block[block_id]
+        self._idle.pop(block_id, None)
+        parent = node.parent
+        del parent.children[node.digest]
+        self.purges += 1
+        if not parent.children and parent.block_id in self._idle:
+            heapq.heappush(
+                self._evict_heap,
+                (self._idle[parent.block_id], parent.block_id),
+            )
+        return True
+
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
         return {
@@ -319,4 +348,5 @@ class RadixPrefixIndex:
             "partial_hits": self.partial_hits,
             "insertions": self.insertions,
             "evictions": self.evictions,
+            "purges": self.purges,
         }

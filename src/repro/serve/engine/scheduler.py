@@ -60,6 +60,7 @@ from ...arch.inference import (
 from ...arch.memory import MemorySystemModel
 from ...core.pipeline import PhotonicExecutor
 from ..clock import SimulatedClock
+from ..faults import FaultInjector, FaultKind, FaultPlan, FleetMonitor, HealthPolicy
 from ..pool import ExecutorPool
 from ..request import RequestStatus
 from ..runtime import ModelProfile, ServiceModel, model_layer_shapes
@@ -177,6 +178,17 @@ class EngineConfig:
     suffix); ``prefill_chunk_tokens`` caps the prefill tokens one
     session contributes to a single step (None = the whole suffix in
     one step, the pre-chunking behaviour).
+
+    ``recovery`` gates the fault-recovery plane: with it on, sessions
+    homed on a replica declared dead are preempted, their KV freed, and
+    they resume elsewhere re-prefilling only what the prefix cache does
+    not hold — and the dead replica is replaced (charging the
+    weight-reprogram latency).  With it off the same faults strand
+    their sessions as ``FAILED`` (the no-recovery baseline the
+    resilience bench contrasts).  ``max_waiting`` bounds the waiting
+    queue under capacity loss: beyond it the engine sheds the youngest
+    waiting session of the *lowest* class (graceful degradation — batch
+    traffic sheds before interactive).
     """
 
     max_batch_size: int = 16
@@ -188,6 +200,8 @@ class EngineConfig:
     execute: bool = True
     prefix_caching: bool = True
     prefill_chunk_tokens: Optional[int] = None
+    recovery: bool = True
+    max_waiting: Optional[int] = None
 
     def __post_init__(self):
         if self.max_batch_size < 1:
@@ -212,6 +226,10 @@ class EngineConfig:
                 "prefill_chunk_tokens must be >= 1 or None, got "
                 f"{self.prefill_chunk_tokens}"
             )
+        if self.max_waiting is not None and self.max_waiting < 1:
+            raise ValueError(
+                f"max_waiting must be >= 1 or None, got {self.max_waiting}"
+            )
 
 
 class TokenServingEngine:
@@ -229,10 +247,12 @@ class TokenServingEngine:
         config: Optional[EngineConfig] = None,
         accelerator: Optional[MirageAccelerator] = None,
         memory: Optional[MemorySystemModel] = None,
+        health: Optional[HealthPolicy] = None,
     ):
         self.pool = pool
         self.profile = profile
         self.config = config or EngineConfig()
+        self.health = health or HealthPolicy()
         self.service = DecodeServiceModel(accelerator)
         self.service.register_decode(profile)
         memory = memory or MemorySystemModel(self.service.accelerator.config)
@@ -249,6 +269,17 @@ class TokenServingEngine:
             profile.name, profile.model, replicas=profile.replicas, prewarm=True
         )
         self._admit_seq = itertools.count()
+        # Fault plane (populated by run(..., faults=...)): session homes
+        # pin each running session's KV to one replica, poisoned session
+        # ids carry an uncorrectable-RRNS verdict into the next commit,
+        # and recovering ids flag the next readmission as a re-prefill
+        # whose cost the telemetry attributes to recovery.
+        self._injector: Optional[FaultInjector] = None
+        self._monitor: Optional[FleetMonitor] = None
+        self._homes: Dict[int, int] = {}
+        self._home_load: Dict[int, int] = {}
+        self._poisoned: set = set()
+        self._recovering: set = set()
 
     # ------------------------------------------------------------------
     # Waiting-queue helpers (per-class FIFO, preempted resume at head)
@@ -277,12 +308,214 @@ class TokenServingEngine:
         # resume), only its private blocks return to the pool.
         self.kv.release(session.session_id)
         running.remove(session)
+        self._drop_home(session.session_id)
+        self._poisoned.discard(session.session_id)
         session.status = RequestStatus.PREEMPTED
         session.preemptions += 1
         session.prefill_done = 0
         session.prefill_target = 0
         waiting.setdefault(session.priority, deque()).appendleft(session)
         self.telemetry.record_preemption(session)
+
+    # ------------------------------------------------------------------
+    # Session homes (KV locality under faults)
+    # ------------------------------------------------------------------
+    # Compute is weight-static and routes anywhere, but a session's KV
+    # blocks live on one replica — its *home*.  When the home is
+    # declared dead the KV is gone and the session must recover; while
+    # the home is unresponsive but not yet declared, the session stalls
+    # (detection latency is real time lost, not hindsight).
+    def _assign_home(self, session: DecodeSession) -> None:
+        live = self.pool.live_replicas(self.profile.name)
+        if not live:
+            return
+        home = min(live, key=lambda wid: (self._home_load.get(wid, 0), wid))
+        self._homes[session.session_id] = home
+        self._home_load[home] = self._home_load.get(home, 0) + 1
+
+    def _drop_home(self, session_id: int) -> None:
+        home = self._homes.pop(session_id, None)
+        if home is not None:
+            self._home_load[home] = self._home_load.get(home, 1) - 1
+
+    def _home_down(self, session: DecodeSession) -> bool:
+        home = self._homes.get(session.session_id)
+        if home is None:
+            return False
+        return not self.pool.workers[home].responsive
+
+    # ------------------------------------------------------------------
+    # Fault application and recovery
+    # ------------------------------------------------------------------
+    def _process_faults(
+        self,
+        now: float,
+        waiting: Dict[int, Deque[DecodeSession]],
+        running: List[DecodeSession],
+    ) -> None:
+        """Apply due fault events, then advance failure detection."""
+        if self._injector is not None:
+            for event in self._injector.due(now):
+                self._apply_fault(event, now, waiting, running)
+        if self._monitor is not None:
+            for transition in self._monitor.observe(now):
+                self.telemetry.record_health_transition(transition)
+                if transition["to"] == "dead":
+                    self._handle_dead_replica(
+                        transition["worker_id"], now, waiting, running
+                    )
+
+    def _apply_fault(
+        self,
+        event,
+        now: float,
+        waiting: Dict[int, Deque[DecodeSession]],
+        running: List[DecodeSession],
+    ) -> None:
+        self.telemetry.record_fault(event.kind)
+        if event.kind in (FaultKind.REPLICA_CRASH, FaultKind.WORKER_STUCK):
+            wid = self.pool.resolve_worker(event.target)
+            if wid is None:
+                return
+            self.pool.crash(wid, now)
+            self.telemetry.record_crash(wid)
+            return
+        if event.kind == FaultKind.WORKER_SLOW:
+            wid = self.pool.resolve_worker(event.target)
+            if wid is not None:
+                self.pool.slow(wid, event.severity, now + event.duration_s)
+            return
+        victims = sorted(running, key=lambda s: s.session_id)
+        if not victims:
+            return  # transient hit an idle fleet: detected, nothing corrupted
+        victim = victims[event.target % len(victims)]
+        if event.kind == FaultKind.TRANSIENT:
+            if event.uncorrectable:
+                # RRNS detected more corrupt residue channels than the
+                # redundancy can correct: the step's result for this
+                # session is untrusted and must be recomputed.  The
+                # poison mark suppresses this step's commit (token /
+                # chunk advance) for the victim — the recurrence input
+                # is untouched, so the retried step is bit-identical.
+                self._poisoned.add(victim.session_id)
+            else:
+                # Detected and corrected in-line by the redundant
+                # residues: no architectural effect, just a counter.
+                self.telemetry.record_transient(uncorrectable=False)
+            return
+        if event.kind == FaultKind.KV_LOSS:
+            lost = self.kv.discard(victim.session_id)
+            self.telemetry.record_kv_loss(lost)
+            self._recover(victim, waiting, running, release=False)
+
+    def _handle_dead_replica(
+        self,
+        wid: int,
+        now: float,
+        waiting: Dict[int, Deque[DecodeSession]],
+        running: List[DecodeSession],
+    ) -> None:
+        """A replica was declared dead: rescue or fail its sessions."""
+        victims = [s for s in running if self._homes.get(s.session_id) == wid]
+        for victim in victims:
+            if self.config.recovery:
+                self._recover(victim, waiting, running, release=True)
+            else:
+                self.kv.release(victim.session_id)
+                running.remove(victim)
+                self._drop_home(victim.session_id)
+                self._poisoned.discard(victim.session_id)
+                victim.status = RequestStatus.FAILED
+                self.telemetry.record_session_failure(victim)
+        if self.config.recovery:
+            new_wid = self.pool.replace_worker(
+                wid, now, lambda name: self.service.prewarm_latency(name)
+            )
+            self.telemetry.record_replacement(wid, new_wid)
+
+    def _recover(
+        self,
+        session: DecodeSession,
+        waiting: Dict[int, Deque[DecodeSession]],
+        running: List[DecodeSession],
+        release: bool = True,
+    ) -> None:
+        """Rescue a session off lost KV: requeue at head-of-class.
+
+        A plain ``release`` (dead replica) leaves published prefix
+        blocks cached — the cache layer survives a replica, so the
+        resumed session re-prefills only its uncached suffix.  KV loss
+        uses the destructive ``discard`` upstream (``release=False``
+        here), which purges what it can from the cache too.
+        """
+        if release:
+            self.kv.release(session.session_id)
+        running.remove(session)
+        self._drop_home(session.session_id)
+        self._poisoned.discard(session.session_id)
+        session.status = RequestStatus.PREEMPTED
+        session.recoveries += 1
+        session.prefill_done = 0
+        session.prefill_target = 0
+        waiting.setdefault(session.priority, deque()).appendleft(session)
+        self._recovering.add(session.session_id)
+        self.telemetry.record_recovery(session, 0)
+
+    def _shed_waiting(
+        self, waiting: Dict[int, Deque[DecodeSession]]
+    ) -> None:
+        """Graceful degradation: bound the waiting queue, lowest class
+        first, youngest waiter first within the class."""
+        cap = self.config.max_waiting
+        if cap is None:
+            return
+        depth = sum(len(q) for q in waiting.values())
+        while depth > cap:
+            priority = min(p for p, q in waiting.items() if q)
+            victim = waiting[priority].pop()
+            victim.status = RequestStatus.EVICTED
+            self.telemetry.record_shed(victim)
+            depth -= 1
+
+    def _next_fault_horizon(
+        self, now: float, sessions: List[DecodeSession], idx: int
+    ) -> Optional[float]:
+        """Next future instant at which a stalled fleet can change state:
+        an arrival, a pending fault event, or a health transition."""
+        candidates = []
+        if idx < len(sessions):
+            candidates.append(sessions[idx].arrival_time)
+        if self._injector is not None:
+            nt = self._injector.next_time()
+            if nt is not None:
+                candidates.append(nt)
+        if self._monitor is not None:
+            mt = self._monitor.next_transition_time()
+            if mt is not None:
+                candidates.append(mt)
+        future = [c for c in candidates if c > now]
+        return min(future) if future else None
+
+    def _fail_stranded(
+        self,
+        waiting: Dict[int, Deque[DecodeSession]],
+        running: List[DecodeSession],
+    ) -> None:
+        """Terminal path for a permanently dead fleet (recovery off):
+        every in-flight and waiting session fails instead of stranding
+        the loop."""
+        for session in list(running):
+            self.kv.release(session.session_id)
+            running.remove(session)
+            self._drop_home(session.session_id)
+            self._poisoned.discard(session.session_id)
+            session.status = RequestStatus.FAILED
+            self.telemetry.record_session_failure(session)
+        for q in waiting.values():
+            while q:
+                session = q.popleft()
+                session.status = RequestStatus.FAILED
+                self.telemetry.record_session_failure(session)
 
     # ------------------------------------------------------------------
     # Admission (prefix attach + prefill scheduling)
@@ -356,6 +589,16 @@ class TokenServingEngine:
                 )
             running.append(candidate)
             admitted.append(candidate)
+            if self._injector is not None:
+                self._assign_home(candidate)
+                if candidate.session_id in self._recovering:
+                    # The recovery re-prefill bill, measured *after* the
+                    # prefix attach: only the suffix the cache could not
+                    # supply is charged to recovery.
+                    self._recovering.discard(candidate.session_id)
+                    self.telemetry.recovery_reprefill_tokens += (
+                        candidate.prefill_target - candidate.prefill_done
+                    )
         return admitted
 
     def _preempt_for_admission(
@@ -454,9 +697,29 @@ class TokenServingEngine:
     # ------------------------------------------------------------------
     # The serving loop
     # ------------------------------------------------------------------
-    def run(self, scenario: Scenario, seed: int = 0) -> EngineTelemetry:
-        """Drive a full scenario of decode sessions; returns telemetry."""
+    def run(
+        self,
+        scenario: Scenario,
+        seed: int = 0,
+        faults: Optional[FaultPlan] = None,
+    ) -> EngineTelemetry:
+        """Drive a full scenario of decode sessions; returns telemetry.
+
+        ``faults`` replays a deterministic :class:`FaultPlan` against
+        the run: replica crashes and stuck/slow workers (worker kinds),
+        plus RRNS transient compute faults and KV-block loss (session
+        kinds).  Fault injection requires the continuous engine — the
+        static baseline has no preemption machinery to recover with.
+        """
         cfg = self.config
+        if faults is not None:
+            if not cfg.continuous:
+                raise ValueError(
+                    "fault injection requires the continuous engine "
+                    "(EngineConfig.continuous=True)"
+                )
+            self._injector = FaultInjector(faults)
+            self._monitor = FleetMonitor(self.pool, self.health)
         sessions = build_sessions(self.profile, scenario, seed)
         waiting: Dict[int, Deque[DecodeSession]] = {}
         running: List[DecodeSession] = []
@@ -467,7 +730,18 @@ class TokenServingEngine:
 
         while idx < len(sessions) or self._waiting_any(waiting) or running:
             if not running and not self._waiting_any(waiting):
-                t = max(t, sessions[idx].arrival_time)
+                t_next = sessions[idx].arrival_time
+                if self._injector is not None:
+                    # An idle fleet still ages: pending faults and
+                    # health transitions fire at their own times, not
+                    # lazily at the next arrival.
+                    for cand in (
+                        self._injector.next_time(),
+                        self._monitor.next_transition_time(),
+                    ):
+                        if cand is not None and cand > t:
+                            t_next = min(t_next, cand)
+                t = max(t, t_next)
             while idx < len(sessions) and sessions[idx].arrival_time <= t:
                 arrival = sessions[idx]
                 idx += 1
@@ -477,6 +751,10 @@ class TokenServingEngine:
                     continue
                 waiting.setdefault(arrival.priority, deque()).append(arrival)
 
+            if self._injector is not None:
+                self._process_faults(t, waiting, running)
+                self._shed_waiting(waiting)
+
             if cfg.continuous or not running:
                 self._admit(waiting, running, t)
 
@@ -485,9 +763,19 @@ class TokenServingEngine:
             # advances by at most prefill_chunk_tokens of its uncached
             # suffix, attending over everything resident so far.
             chunk_cap = cfg.prefill_chunk_tokens if cfg.continuous else None
+            # Sessions homed on an unresponsive replica are *stalled*:
+            # their KV is unreachable, so they neither prefill nor
+            # decode until the monitor declares the replica dead and
+            # recovery re-homes them.  Detection latency is real time
+            # those sessions lose.
+            stalled: set = set()
+            if self._injector is not None:
+                stalled = {
+                    s.session_id for s in running if self._home_down(s)
+                }
             plan: List[Tuple[DecodeSession, int, int]] = []
             for s in running:
-                if s.prefilling:
+                if s.prefilling and s.session_id not in stalled:
                     q = s.prefill_target - s.prefill_done
                     if chunk_cap is not None:
                         q = min(q, chunk_cap)
@@ -501,7 +789,8 @@ class TokenServingEngine:
                 decoders = [
                     s
                     for s in running
-                    if done_after.get(s.session_id, s.prefill_done)
+                    if s.session_id not in stalled
+                    and done_after.get(s.session_id, s.prefill_done)
                     >= s.prefill_target
                 ]
                 self._grow_for_step(waiting, running, decoders)
@@ -514,8 +803,32 @@ class TokenServingEngine:
                 decoders = list(running)
             if not running:
                 continue  # everything admitted got preempted; retry at t
+            if self._injector is not None and not decoders and not plan:
+                # Every runnable session is stalled behind undetected
+                # failures: nothing can execute at t, so jump to the
+                # next event that changes the picture (arrival, fault,
+                # or health transition) instead of spinning a zero-cost
+                # step forever.
+                horizon = self._next_fault_horizon(t, sessions, idx)
+                if horizon is None:
+                    self._fail_stranded(waiting, running)
+                    break
+                t = horizon
+                continue
 
+            # An uncorrectable RRNS verdict poisons its victim's share
+            # of this step: the work is still priced (the photonic
+            # pass really ran, then failed residue checking), but its
+            # result is discarded — no chunk advance, no token commit —
+            # and the identical inputs recompute it next step.
+            retried: set = set()
             for s, _, q in plan:
+                if s.session_id in self._poisoned:
+                    retried.add(s.session_id)
+                    self.telemetry.record_transient(
+                        uncorrectable=True, tokens_retried=q
+                    )
+                    continue
                 s.prefill_done += q
                 # A completed prefill makes its prompt blocks attachable:
                 # publication waits for the chunks that compute the KV,
@@ -550,20 +863,44 @@ class TokenServingEngine:
             if worker is None:
                 t = max(t, self.pool.next_free_time(name))
                 worker = self.pool.route(name, t)
+            if worker is None:
+                # Total fleet outage (every replica dead or silent):
+                # wait for the next fault/health event — a replacement
+                # may restore capacity — or fail everything stranded
+                # when no such event is coming.
+                horizon = self._next_fault_horizon(t, sessions, idx)
+                if horizon is None:
+                    self._fail_stranded(waiting, running)
+                    break
+                t = horizon
+                continue
+            # A degraded (slow) worker stretches the wall-clock booking
+            # without changing the analytic step cost: the nominal
+            # step_s keeps the cross-check exact, the stall is reported
+            # separately.
+            booked_s = step_s * worker.service_scale(t)
+            stall_s = booked_s - step_s
             active = sum(1 for s in decoders if not s.finished)
             if cfg.execute and decoders:
                 outputs = worker.run_batch(
-                    name, model, [s.x for s in decoders], t, step_s, tokens=active
+                    name, model, [s.x for s in decoders], t, booked_s, tokens=active
                 )
             else:
                 outputs = None
-                worker.run_booking(name, len(decoders), t, step_s, tokens=active)
+                worker.run_booking(name, len(decoders), t, booked_s, tokens=active)
 
-            t_end = t + step_s
+            t_end = t + booked_s
             self.clock.advance_to(t_end)
             for i, session in enumerate(decoders):
                 if session.finished:
                     continue  # static-mode padding slot
+                if session.session_id in self._poisoned:
+                    if session.session_id not in retried:
+                        retried.add(session.session_id)
+                        self.telemetry.record_transient(
+                            uncorrectable=True, tokens_retried=1
+                        )
+                    continue
                 session.tokens_generated += 1
                 if outputs is not None:
                     row = outputs[i]
@@ -575,6 +912,7 @@ class TokenServingEngine:
                     session.status = RequestStatus.COMPLETED
                     session.finish_time = t_end
                     self.telemetry.record_session(session)
+            self._poisoned -= retried
 
             self.telemetry.record_step(
                 t,
@@ -585,12 +923,14 @@ class TokenServingEngine:
                 step_s,
                 self.kv.used_blocks,
                 self.kv.occupancy(),
+                stall_s=stall_s,
             )
 
             if cfg.continuous:
                 for session in [s for s in running if s.finished]:
                     self.kv.release(session.session_id)
                     running.remove(session)
+                    self._drop_home(session.session_id)
             elif all(s.finished for s in running):
                 for session in running:
                     self.kv.release(session.session_id)

@@ -82,6 +82,12 @@ class DecodeModelProfile:
                 f"decode profile {self.name!r} cannot recur: input width "
                 f"{d_in} != output width {d_out}"
             )
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.ttft_slo_s is not None and self.ttft_slo_s < 0:
+            raise ValueError(
+                f"ttft_slo_s must be >= 0, got {self.ttft_slo_s}"
+            )
 
     def input_dim(self) -> int:
         for layer in self.model:
@@ -125,6 +131,9 @@ class DecodeSession:
     # Cumulative prompt tokens served from the shared-prefix cache
     # across all of this session's admissions (prefill work avoided).
     cached_prompt_tokens: int = 0
+    # Times this session was rescued off a failed replica (or lost KV)
+    # and re-dispatched — distinct from memory-pressure preemptions.
+    recoveries: int = 0
 
     def __post_init__(self):
         if self.prompt_len < 1:

@@ -22,6 +22,17 @@ a model's replica set at simulated time ``now``, charging cold additions
 the weight-tile reprogramming latency (prewarm) and draining retired
 workers before they leave the routing set — the hooks the runtime's
 :class:`~repro.serve.runtime.Autoscaler` drives.
+
+Workers are also *mortal*: :meth:`ExecutorPool.crash` marks one
+unresponsive (its in-flight work is stranded and its KV state lost),
+:meth:`ExecutorPool.slow` degrades its service rate for a window, and
+the ``healthy → suspect → dead`` progression is driven externally by a
+:class:`~repro.serve.faults.FleetMonitor` watching heartbeats on the
+simulated clock.  Routing only ever considers *available* workers
+(responsive and not declared dead); :meth:`ExecutorPool.replace_worker`
+swaps a fresh core (new id, cold caches, reprogramming charged) into
+every replica set the dead worker served, and :meth:`scale_to`'s
+scale-down retires dead and suspect workers first.
 """
 
 from __future__ import annotations
@@ -53,12 +64,30 @@ class PoolWorker:
         self.requests_served = 0
         self.tokens_served = 0
         self.models_programmed: Set[str] = set()
+        # Health plane (see repro.serve.faults.FleetMonitor): ``health``
+        # is the *detected* state the monitor advances; ``responsive``
+        # is ground truth — a crashed worker stops responding long
+        # before anyone declares it suspect or dead.
+        self.health = "healthy"
+        self.responsive = True
+        self.fail_time: Optional[float] = None
+        self.last_seen = 0.0
+        self.slow_factor = 1.0
+        self.slow_until = 0.0
 
     def is_free(self, now: float) -> bool:
         # Relative tolerance: an absolute epsilon (the old 1e-15) is below
         # double spacing once timestamps pass ~1 s, so a worker freed "at
         # exactly now" would compare busy forever at large simulated times.
         return time_at_or_before(self.busy_until, now)
+
+    def is_available(self, now: float) -> bool:
+        """Free *and* routable: responsive, not declared dead."""
+        return self.responsive and self.health != "dead" and self.is_free(now)
+
+    def service_scale(self, now: float) -> float:
+        """Service-time multiplier at ``now`` (> 1 while degraded)."""
+        return self.slow_factor if now < self.slow_until else 1.0
 
     def run_booking(
         self,
@@ -112,8 +141,9 @@ class ExecutorPool:
             raise ValueError(
                 f"unknown routing policy {policy!r}; pick from {ROUTING_POLICIES}"
             )
-        factory = executor_factory or (lambda: PhotonicExecutor())
-        self.workers = [PoolWorker(i, factory()) for i in range(num_workers)]
+        self._factory = executor_factory or (lambda: PhotonicExecutor())
+        self.workers = [PoolWorker(i, self._factory()) for i in range(num_workers)]
+        self._next_worker_id = num_workers
         self.policy = policy
         self._models: Dict[str, Sequential] = {}
         self._replicas: Dict[str, List[int]] = {}
@@ -169,9 +199,11 @@ class ExecutorPool:
         Scale-down is **drain-before-retire**: retired workers leave the
         routing set immediately (no new batches land on them) but keep
         their booked busy window, so an in-flight batch always completes.
-        Last-added replicas retire first.  ``n`` is clamped to
-        ``[1, num_workers]``.  Returns the worker ids ``added`` (with the
-        ``cold`` subset that actually paid the reprogram) and ``removed``.
+        Crash-aware retirement order: dead/unresponsive replicas retire
+        first, then suspect ones, then healthy last-added-first.  ``n``
+        is clamped to ``[1, num_workers]``.  Returns the worker ids
+        ``added`` (with the ``cold`` subset that actually paid the
+        reprogram) and ``removed``.
         """
         if name not in self._replicas:
             raise KeyError(f"model {name!r} is not placed on this pool")
@@ -182,7 +214,11 @@ class ExecutorPool:
         removed: List[int] = []
         if n > len(current):
             candidates = [
-                w for w in self.workers if w.worker_id not in current
+                w
+                for w in self.workers
+                if w.worker_id not in current
+                and w.responsive
+                and w.health != "dead"
             ]
             # Warm workers rejoin free; cold ones by load, then id.
             candidates.sort(
@@ -204,8 +240,23 @@ class ExecutorPool:
                 current.append(w.worker_id)
                 added.append(w.worker_id)
         elif n < len(current):
-            removed = current[n:]
-            del current[n:]
+            def retire_rank(wid: int) -> int:
+                w = self.workers[wid]
+                if not w.responsive or w.health == "dead":
+                    return 0
+                if w.health == "suspect":
+                    return 1
+                return 2
+
+            order = sorted(
+                range(len(current)),
+                key=lambda i: (retire_rank(current[i]), -i),
+            )
+            victims = set(order[: len(current) - n])
+            removed = [current[i] for i in sorted(victims)]
+            self._replicas[name] = [
+                current[i] for i in range(len(current)) if i not in victims
+            ]
             self._rr_state[name] = self._rr_state[name] % max(1, n)
         return {"added": added, "cold": cold, "removed": removed}
 
@@ -225,16 +276,20 @@ class ExecutorPool:
     # Routing
     # ------------------------------------------------------------------
     def route(self, name: str, now: float) -> Optional[PoolWorker]:
-        """Pick a free replica worker for ``name`` under the pool policy.
+        """Pick an available replica worker for ``name`` under the policy.
 
-        Returns None when every replica is busy (the runtime then waits
-        for the next worker-done event).
+        Only *available* workers are candidates — free, responsive, and
+        not declared dead; a crashed-but-undetected worker therefore
+        silently drops out of routing, which is exactly what a real load
+        balancer's failed health probe does.  Returns None when no
+        replica is available (the runtime then waits for the next
+        worker-done event or health transition).
         """
         if name not in self._replicas:
             raise KeyError(f"model {name!r} is not placed on this pool")
         free = [
             self.workers[w] for w in self._replicas[name]
-            if self.workers[w].is_free(now)
+            if self.workers[w].is_available(now)
         ]
         if not free:
             return None
@@ -243,7 +298,7 @@ class ExecutorPool:
             start = self._rr_state[name]
             for i in range(len(order)):
                 wid = order[(start + i) % len(order)]
-                if self.workers[wid].is_free(now):
+                if self.workers[wid].is_available(now):
                     self._rr_state[name] = (start + i + 1) % len(order)
                     return self.workers[wid]
             return None
@@ -255,10 +310,123 @@ class ExecutorPool:
         return min(pick_from, key=lambda w: (w.busy_time, w.worker_id))
 
     def next_free_time(self, name: str) -> float:
-        """Earliest time any replica of ``name`` becomes free."""
-        return min(
-            self.workers[w].busy_until for w in self._replicas[name]
+        """Earliest time a *routable* replica of ``name`` becomes free.
+
+        Falls back to the raw minimum over all replicas when none is
+        routable (fleet-wide outage) so callers always get a finite time.
+        """
+        routable = [
+            self.workers[w].busy_until
+            for w in self._replicas[name]
+            if self.workers[w].responsive and self.workers[w].health != "dead"
+        ]
+        if routable:
+            return min(routable)
+        return min(self.workers[w].busy_until for w in self._replicas[name])
+
+    def next_available_time(self, name: str) -> Optional[float]:
+        """Earliest free time among routable replicas; None if there are none."""
+        routable = [
+            self.workers[w].busy_until
+            for w in self._replicas[name]
+            if self.workers[w].responsive and self.workers[w].health != "dead"
+        ]
+        return min(routable) if routable else None
+
+    # ------------------------------------------------------------------
+    # Failures and replacement
+    # ------------------------------------------------------------------
+    def crash(self, worker_id: int, now: float) -> None:
+        """Worker ``worker_id`` stops responding at ``now``.
+
+        Covers both hard crashes and wedged (stuck) workers: the worker
+        no longer answers heartbeats or completes work.  Detection —
+        the ``healthy → suspect → dead`` progression — is the
+        :class:`~repro.serve.faults.FleetMonitor`'s job; until it
+        reacts, the worker simply vanishes from routing.
+        """
+        w = self.workers[worker_id]
+        if not w.responsive:
+            return
+        w.responsive = False
+        w.fail_time = now
+
+    def slow(self, worker_id: int, factor: float, until: float) -> None:
+        """Degrade ``worker_id``: service times scale by ``factor`` until ``until``."""
+        if factor <= 1.0:
+            raise ValueError(f"slowdown factor must be > 1, got {factor}")
+        w = self.workers[worker_id]
+        w.slow_factor = factor
+        w.slow_until = until
+
+    def live_workers(self) -> List[PoolWorker]:
+        """Workers still routable (responsive, not declared dead), by id."""
+        return sorted(
+            (w for w in self.workers if w.responsive and w.health != "dead"),
+            key=lambda w: w.worker_id,
         )
+
+    def live_replicas(self, name: str) -> List[int]:
+        """Routable replica ids of ``name``."""
+        return [
+            wid
+            for wid in self._replicas[name]
+            if self.workers[wid].responsive
+            and self.workers[wid].health != "dead"
+        ]
+
+    def resolve_worker(self, selector: int) -> Optional[int]:
+        """Map a fault-plan target selector to a live worker id.
+
+        Selectors index the live workers modulo their count (sorted by
+        id), so a plan built before the run stays meaningful whatever
+        ids replacements were assigned.  None when no worker is live.
+        """
+        live = self.live_workers()
+        if not live:
+            return None
+        return live[selector % len(live)].worker_id
+
+    def replace_worker(
+        self,
+        dead_worker_id: int,
+        now: float,
+        prewarm_latency_s=0.0,
+    ) -> int:
+        """Swap a fresh worker (new id, cold caches) in for a dead one.
+
+        The replacement takes the dead worker's slot in every replica
+        set it served, and pays the weight-tile reprogramming charge
+        (``prewarm_latency_s`` per hosted model — a float, or a
+        per-model callable ``name -> seconds``) before serving its
+        first batch — a cold photonic core must program its phase
+        shifters, exactly like a cold ``scale_to`` addition.  The dead
+        worker stays in :attr:`workers` so its ledgers remain auditable,
+        but is never routed to again.  Returns the new worker id.
+        """
+        dead = self.workers[dead_worker_id]
+        if dead.responsive and dead.health != "dead":
+            raise ValueError(
+                f"worker {dead_worker_id} is still live; refusing to replace"
+            )
+        fresh = PoolWorker(self._next_worker_id, self._factory())
+        self._next_worker_id += 1
+        fresh.last_seen = now
+        self.workers.append(fresh)
+        for name, replica_ids in self._replicas.items():
+            if dead_worker_id not in replica_ids:
+                continue
+            replica_ids[replica_ids.index(dead_worker_id)] = fresh.worker_id
+            fresh.executor.prewarm(self._models[name])
+            fresh.models_programmed.add(name)
+            charge = (
+                prewarm_latency_s(name)
+                if callable(prewarm_latency_s)
+                else prewarm_latency_s
+            )
+            fresh.busy_until = max(fresh.busy_until, now) + charge
+            fresh.busy_time += charge
+        return fresh.worker_id
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -287,6 +455,8 @@ class ExecutorPool:
                 "requests": w.requests_served,
                 "tokens": w.tokens_served,
                 "busy_time_s": w.busy_time,
+                "health": w.health,
+                "responsive": w.responsive,
             }
             for w in self.workers
         ]

@@ -61,6 +61,11 @@ class RequestStatus:
     RUNNING = "running"
     PREEMPTED = "preempted"
     COMPLETED = "completed"
+    # Failure-plane terminal states (PR 6): a request whose deadline
+    # expired before completion, and one abandoned after its retry
+    # budget was exhausted by worker failures.
+    TIMED_OUT = "timed_out"
+    FAILED = "failed"
 
 
 @dataclass
@@ -85,6 +90,11 @@ class InferenceRequest:
     batch_size: Optional[int] = None
     worker_id: Optional[int] = None
     output: Optional[np.ndarray] = None
+    # Failure plane: how many times this request was re-dispatched after
+    # a worker failure, and the absolute simulated time after which it
+    # is no longer worth serving (None = no deadline).
+    retries: int = 0
+    deadline: Optional[float] = None
 
     @property
     def queue_latency(self) -> Optional[float]:
@@ -162,7 +172,7 @@ class AdmissionQueue:
         return [q[0] for q in classes.values() if q]
 
     # ------------------------------------------------------------------
-    def offer(self, request: InferenceRequest) -> bool:
+    def offer(self, request: InferenceRequest, front: bool = False) -> bool:
         """Admit ``request``, evicting a lower-class victim if needed.
 
         Returns True when the request was admitted.  At capacity, the
@@ -171,6 +181,11 @@ class AdmissionQueue:
         arrival is rejected (same-class traffic never preempts itself, so
         a single-class deployment behaves exactly like the plain bounded
         FIFO it used to be).
+
+        ``front=True`` re-enqueues at the *head* of the request's class
+        (head-of-class requeue): a retry whose first dispatch was lost to
+        a worker failure has already waited its turn once and should not
+        queue behind younger same-class arrivals.
         """
         if self._depth >= self.capacity:
             victim = self._evict_candidate(request.priority)
@@ -183,7 +198,11 @@ class AdmissionQueue:
             self.evicted += 1
             self._evicted_pending.append(victim)
         classes = self._queues.setdefault(request.model, {})
-        classes.setdefault(request.priority, deque()).append(request)
+        q = classes.setdefault(request.priority, deque())
+        if front:
+            q.appendleft(request)
+        else:
+            q.append(request)
         self._depth += 1
         self.admitted += 1
         request.status = RequestStatus.QUEUED
@@ -193,6 +212,40 @@ class AdmissionQueue:
         """Victims evicted since the last drain (for telemetry)."""
         out, self._evicted_pending = self._evicted_pending, []
         return out
+
+    def expire(self, now: float) -> List[InferenceRequest]:
+        """Remove and return waiting requests whose deadline has passed.
+
+        Per-class FIFO order of the survivors is preserved.  The runtime
+        sweeps this on its clock so a request nobody will ever dispatch
+        (e.g. queued behind a fleet outage) still reaches a terminal
+        state instead of stranding the event loop.
+        """
+        from .clock import time_at_or_before
+
+        expired: List[InferenceRequest] = []
+        for classes in self._queues.values():
+            for q in classes.values():
+                if not q:
+                    continue
+                survivors = [
+                    r
+                    for r in q
+                    if r.deadline is None or time_at_or_before(now, r.deadline)
+                ]
+                if len(survivors) != len(q):
+                    expired.extend(
+                        r
+                        for r in q
+                        if r.deadline is not None
+                        and not time_at_or_before(now, r.deadline)
+                    )
+                    q.clear()
+                    q.extend(survivors)
+        for r in expired:
+            r.status = RequestStatus.TIMED_OUT
+            self._depth -= 1
+        return expired
 
     def _evict_candidate(self, priority: int) -> Optional[InferenceRequest]:
         """Youngest waiting request of the lowest class strictly below

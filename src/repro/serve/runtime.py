@@ -57,6 +57,7 @@ from ..nn.conv import Conv2d, conv_output_size
 from ..nn.layers import Linear, Sequential
 from .batcher import BatchPolicy, MicroBatcher
 from .clock import SimulatedClock
+from .faults import FaultInjector, FaultKind, FaultPlan, FleetMonitor, HealthPolicy
 from .pool import ExecutorPool
 from .request import AdmissionQueue, InferenceRequest, RequestStatus
 from .telemetry import Telemetry, percentile, summarize_latencies
@@ -65,6 +66,7 @@ __all__ = [
     "AutoscalerPolicy",
     "Autoscaler",
     "ModelProfile",
+    "RetryPolicy",
     "ServiceModel",
     "ServingRuntime",
     "model_layer_shapes",
@@ -140,8 +142,46 @@ class ModelProfile:
     slo_s: Optional[float] = None
     input_hw: Optional[Tuple[int, int]] = None
 
+    def __post_init__(self):
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError(f"slo_s must be > 0, got {self.slo_s}")
+
     def input_dim(self) -> int:
         return infer_input_dim(self.model)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Failure-handling knobs of the request-level runtime.
+
+    ``max_retries`` bounds how many times one request may re-enter
+    admission after its dispatch was lost to a worker failure (the retry
+    *budget* — past it the request fails terminally).  ``deadline_s``
+    gives every request an absolute deadline of ``arrival + deadline_s``
+    after which it is dropped as timed out rather than served late.
+    ``hedge_on_suspect`` re-dispatches stranded work as soon as its
+    worker turns *suspect* instead of waiting for the dead declaration;
+    ``replace_dead`` swaps a fresh (cold, reprogramming-charged) replica
+    in for every worker declared dead.  All knobs are inert on
+    fault-free runs — retries and hedges only trigger on failures.
+    """
+
+    max_retries: int = 2
+    deadline_s: Optional[float] = None
+    hedge_on_suspect: bool = True
+    replace_dead: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
 
 
 class ServiceModel:
@@ -393,7 +433,7 @@ class Autoscaler:
 # ----------------------------------------------------------------------
 # The discrete-event serving loop
 # ----------------------------------------------------------------------
-_ARRIVAL, _WORKER_FREE, _DEADLINE, _SCALE = 0, 1, 2, 3
+_ARRIVAL, _WORKER_FREE, _DEADLINE, _SCALE, _FAULT, _HEALTH = 0, 1, 2, 3, 4, 5
 
 
 class ServingRuntime:
@@ -411,6 +451,8 @@ class ServingRuntime:
         accelerator: Optional[MirageAccelerator] = None,
         execute: bool = True,
         autoscaler: Optional[AutoscalerPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+        health: Optional[HealthPolicy] = None,
     ):
         self.pool = pool
         self.batcher = MicroBatcher(policy)
@@ -422,8 +464,18 @@ class ServingRuntime:
         self.autoscaler = (
             Autoscaler(self, autoscaler) if autoscaler is not None else None
         )
+        self.retry = retry or RetryPolicy()
+        self.health = health or HealthPolicy()
         self._profiles: Dict[str, ModelProfile] = {}
         self._req_ids = itertools.count()
+        # Failure plane: in-flight batches by id so a crash can strand
+        # exactly the work that was riding on the failed worker.
+        self._batch_ids = itertools.count()
+        self._inflight: Dict[int, Tuple[int, List[InferenceRequest]]] = {}
+        self._cancelled: set = set()
+        self._stranded: Dict[int, List[InferenceRequest]] = {}
+        self._monitor: Optional[FleetMonitor] = None
+        self._injector: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------
     def register_model(
@@ -451,11 +503,16 @@ class ServingRuntime:
         scenario,
         seed: int = 0,
         input_fn: Optional[Callable[[str, np.random.Generator], np.ndarray]] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> Telemetry:
         """Drive a full scenario through the deployment; returns telemetry.
 
         ``input_fn(model_name, rng)`` supplies request inputs (default:
-        standard-normal rows of the model's input width).
+        standard-normal rows of the model's input width).  ``faults`` is
+        an optional replayable :class:`~repro.serve.faults.FaultPlan` of
+        **worker** events (crash/stuck/slow) injected on the simulated
+        clock; session-granular kinds (transient, KV loss) belong to the
+        token engine and are rejected here.
         """
         rng = np.random.default_rng(seed)
         heap: List[Tuple[float, int, int, object]] = []
@@ -463,6 +520,18 @@ class ServingRuntime:
 
         def push(t: float, kind: int, payload: object) -> None:
             heapq.heappush(heap, (t, kind, next(seq), payload))
+
+        if faults is not None:
+            bad = [e.kind for e in faults.events if e.kind in FaultKind.SESSION_KINDS]
+            if bad:
+                raise ValueError(
+                    f"request-level runtime cannot inject {sorted(set(bad))}; "
+                    "session-granular faults target the token engine"
+                )
+            self._injector = FaultInjector(faults)
+            self._monitor = FleetMonitor(self.pool, self.health)
+            for event in faults.events:
+                push(event.t, _FAULT, None)
 
         last_arrival = 0.0
         for arrival in scenario.arrivals:
@@ -493,6 +562,11 @@ class ServingRuntime:
                 self._admit(model, priority, now, rng, input_fn)
             elif kind == _WORKER_FREE:
                 self._complete(payload)
+            elif kind == _FAULT:
+                for event in self._injector.due(now):
+                    self._apply_fault(event, now, push)
+            elif kind == _HEALTH:
+                self._check_health(now, push)
             elif kind == _SCALE:
                 for action in self.autoscaler.evaluate(now):
                     if action["ready_at"] > now:
@@ -512,9 +586,18 @@ class ServingRuntime:
             self.telemetry.sample_queue_depth(now, self.queue.depth)
 
         if self.queue.depth:
-            raise RuntimeError(
-                f"event loop ended with {self.queue.depth} requests stranded"
-            )
+            if self._injector is not None:
+                # A fleet outage can legitimately strand waiting work
+                # (every replica dead, replacement disabled): those
+                # requests fail terminally instead of crashing the loop.
+                for model in list(self.queue.models_waiting()):
+                    for r in self.queue.pop_batch(model, self.queue.depth):
+                        r.status = RequestStatus.FAILED
+                        self.telemetry.record_failure(r)
+            else:
+                raise RuntimeError(
+                    f"event loop ended with {self.queue.depth} requests stranded"
+                )
         return self.telemetry
 
     # ------------------------------------------------------------------
@@ -556,13 +639,91 @@ class ServingRuntime:
         request = InferenceRequest(
             next(self._req_ids), model, x, now, priority=priority
         )
+        if self.retry.deadline_s is not None:
+            request.deadline = now + self.retry.deadline_s
         if not self.queue.offer(request):
             self.telemetry.record_rejection(request)
         for victim in self.queue.drain_evicted():
             self.telemetry.record_rejection(victim)
 
+    # ------------------------------------------------------------------
+    # Failure plane
+    # ------------------------------------------------------------------
+    def _apply_fault(self, event, now: float, push) -> None:
+        """Apply one due fault event (physics only — detection is separate)."""
+        wid = self.pool.resolve_worker(event.target)
+        if wid is None:
+            return  # nothing left to kill
+        if event.kind in (FaultKind.REPLICA_CRASH, FaultKind.WORKER_STUCK):
+            self.pool.crash(wid, now)
+            self.telemetry.record_crash(wid)
+            # Strand the in-flight batches riding on this worker: their
+            # completion events are cancelled; the requests re-enter only
+            # once the monitor *detects* the failure (suspect/dead) —
+            # nobody knows instantly that a worker died.
+            for batch_id, (bwid, batch) in list(self._inflight.items()):
+                if bwid != wid:
+                    continue
+                self._cancelled.add(batch_id)
+                del self._inflight[batch_id]
+                self._stranded.setdefault(wid, []).extend(batch)
+            push(now + self.health.suspect_after_s, _HEALTH, None)
+            push(now + self.health.dead_after_s, _HEALTH, None)
+        elif event.kind == FaultKind.WORKER_SLOW:
+            self.pool.slow(wid, event.severity, now + event.duration_s)
+
+    def _check_health(self, now: float, push) -> None:
+        """One heartbeat sweep: hedge on suspect, replace on dead."""
+        if self._monitor is None:
+            return
+        for tr in self._monitor.observe(now):
+            wid = tr["worker_id"]
+            if tr["to"] == "suspect" and self.retry.hedge_on_suspect:
+                for request in self._stranded.pop(wid, []):
+                    self._reenter(request, now, hedged=True)
+            elif tr["to"] == "dead":
+                for request in self._stranded.pop(wid, []):
+                    self._reenter(request, now, hedged=False)
+                if self.retry.replace_dead:
+                    prewarm = lambda name: self.service.prewarm_latency(name)
+                    new_wid = self.pool.replace_worker(wid, now, prewarm)
+                    self.telemetry.record_replacement(wid, new_wid)
+                    ready = self.pool.workers[new_wid].busy_until
+                    if ready > now:
+                        push(ready, _DEADLINE, None)
+
+    def _reenter(self, request: InferenceRequest, now: float, hedged: bool) -> None:
+        """Re-admit a request whose dispatch was lost to a worker failure.
+
+        Head-of-class requeue: the request already waited its turn once.
+        Deadline and retry budget are checked first — work nobody wants
+        (or that has failed too often) terminates instead of churning.
+        """
+        from .clock import time_at_or_before
+
+        if request.deadline is not None and not time_at_or_before(
+            now, request.deadline
+        ):
+            request.status = RequestStatus.TIMED_OUT
+            self.telemetry.record_timeout(request)
+            return
+        if request.retries >= self.retry.max_retries:
+            request.status = RequestStatus.FAILED
+            self.telemetry.record_failure(request)
+            return
+        request.retries += 1
+        if self.queue.offer(request, front=True):
+            self.telemetry.record_retry(request, hedged=hedged)
+        else:
+            self.telemetry.record_rejection(request)
+        for victim in self.queue.drain_evicted():
+            self.telemetry.record_rejection(victim)
+
+    # ------------------------------------------------------------------
     def _drain(self, now: float, push) -> None:
         """Dispatch every batch that is ready and has a free worker."""
+        for request in self.queue.expire(now):
+            self.telemetry.record_timeout(request)
         while True:
             dispatched = False
             # Snapshot: ready_model recomputes triggers after each pop;
@@ -587,16 +748,25 @@ class ServingRuntime:
 
     def _dispatch(self, model: str, worker, now: float, push) -> None:
         batch = self.batcher.take_batch(self.queue, model, now)
+        for request in self.batcher.drain_expired():
+            self.telemetry.record_timeout(request)
+        if not batch:
+            return  # every popped request had expired
         service_s = self.service.batch_latency(model, len(batch))
+        # A degraded worker serves slower than the analytic model says;
+        # the stall inflates the busy window and completion time while
+        # telemetry keeps the *nominal* service time, so the analytic
+        # cross-check stays exact through fault storms.
+        booked_s = service_s * worker.service_scale(now)
         profile = self._profiles[model]
         if self.execute:
             outputs = worker.run_batch(
-                model, profile.model, [r.x for r in batch], now, service_s
+                model, profile.model, [r.x for r in batch], now, booked_s
             )
         else:
             outputs = None
-            worker.run_booking(model, len(batch), now, service_s)
-        done = now + service_s
+            worker.run_booking(model, len(batch), now, booked_s)
+        done = now + booked_s
         for i, request in enumerate(batch):
             request.status = RequestStatus.DISPATCHED
             request.dispatch_time = now
@@ -608,9 +778,16 @@ class ServingRuntime:
         self.telemetry.record_batch(
             model, batch, worker.worker_id, now, service_s
         )
-        push(done, _WORKER_FREE, batch)
+        batch_id = next(self._batch_ids)
+        self._inflight[batch_id] = (worker.worker_id, list(batch))
+        push(done, _WORKER_FREE, (batch_id, batch))
 
-    def _complete(self, batch: Sequence[InferenceRequest]) -> None:
+    def _complete(self, payload) -> None:
+        batch_id, batch = payload
+        if batch_id in self._cancelled:
+            self._cancelled.discard(batch_id)
+            return  # worker died mid-batch; requests were stranded
+        self._inflight.pop(batch_id, None)
         for request in batch:
             request.status = RequestStatus.COMPLETED
             self.telemetry.record_completion(request)
@@ -639,6 +816,12 @@ class ServingRuntime:
             for name in self._profiles
         }
         out["workers"] = self.pool.worker_stats()
+        if self._monitor is not None:
+            out["health_transitions"] = [
+                dict(tr) for tr in self._monitor.transitions
+            ]
+        if self._injector is not None:
+            out["faults_applied"] = len(self._injector.applied)
         if self.autoscaler is not None:
             self.autoscaler.finalize(horizon)
             out["autoscaler"] = self.autoscaler.summary()

@@ -74,6 +74,17 @@ class Telemetry:
         self.evicted: int = 0
         self.batches: List[_BatchRecord] = []
         self._depth_samples: List[Tuple[float, int]] = []
+        # Failure plane (PR 6): counters stay zero on fault-free runs,
+        # and the summary only grows a "resilience" section when the
+        # run actually saw failure activity.
+        self.retries = 0
+        self.hedges = 0
+        self.timeouts = 0
+        self.timeouts_by_class: Counter = Counter()
+        self.failed = 0
+        self.failed_by_class: Counter = Counter()
+        self.crashes = 0
+        self.replacements = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -85,6 +96,34 @@ class Telemetry:
         self.rejected_by_class[request.priority] += 1
         if request.status == RequestStatus.EVICTED:
             self.evicted += 1
+
+    def record_retry(self, request: InferenceRequest, hedged: bool = False) -> None:
+        """A request re-entering admission after its dispatch was lost
+        to a worker failure; ``hedged=True`` marks a suspect-worker
+        hedge (re-dispatched before the worker was declared dead)."""
+        self.retries += 1
+        if hedged:
+            self.hedges += 1
+
+    def record_timeout(self, request: InferenceRequest) -> None:
+        """A request whose per-request deadline expired before service.
+
+        Counts as an SLO miss for its class, like a rejection."""
+        self.timeouts += 1
+        self.timeouts_by_class[request.priority] += 1
+
+    def record_failure(self, request: InferenceRequest) -> None:
+        """A request abandoned after exhausting its retry budget.
+
+        Counts as an SLO miss for its class, like a rejection."""
+        self.failed += 1
+        self.failed_by_class[request.priority] += 1
+
+    def record_crash(self, worker_id: int) -> None:
+        self.crashes += 1
+
+    def record_replacement(self, dead_worker_id: int, new_worker_id: int) -> None:
+        self.replacements += 1
 
     def record_batch(
         self,
@@ -137,10 +176,22 @@ class Telemetry:
         ]
 
     def classes_seen(self) -> List[int]:
-        """Priority classes observed across completions and rejections."""
+        """Priority classes observed across completions and misses."""
         seen = {r.priority for r in self.completed}
         seen.update(self.rejected_by_class)
+        seen.update(self.timeouts_by_class)
+        seen.update(self.failed_by_class)
         return sorted(seen)
+
+    def _misses(self, priority: Optional[int] = None) -> int:
+        """Requests that never completed: shed, timed out, or failed."""
+        if priority is None:
+            return self.rejected + self.timeouts + self.failed
+        return (
+            self.rejected_by_class.get(priority, 0)
+            + self.timeouts_by_class.get(priority, 0)
+            + self.failed_by_class.get(priority, 0)
+        )
 
     def batch_size_histogram(self) -> Dict[int, int]:
         return dict(sorted(Counter(b.batch_size for b in self.batches).items()))
@@ -172,22 +223,23 @@ class Telemetry:
     def slo_attainment(self, slo_s: float) -> float:
         """Fraction of *admitted* requests completing within ``slo_s``.
 
-        Rejected requests count against attainment — shedding load is a
-        miss from the caller's point of view.
+        Rejected, timed-out, and retry-exhausted requests all count
+        against attainment — any request that never completes is a miss
+        from the caller's point of view.
         """
         lat = self.latencies()
-        total = len(lat) + self.rejected
+        total = len(lat) + self._misses()
         if total == 0:
             return 1.0
         met = sum(1 for v in lat if v <= slo_s + 1e-15)
         return met / total
 
     def slo_attainment_by_class(self, slo_s: float) -> Dict[int, float]:
-        """Per-priority-class SLO attainment (rejections count as misses)."""
+        """Per-priority-class SLO attainment (all misses count)."""
         out: Dict[int, float] = {}
         for p in self.classes_seen():
             lat = self.latencies(priority=p)
-            total = len(lat) + self.rejected_by_class.get(p, 0)
+            total = len(lat) + self._misses(p)
             if total == 0:
                 out[p] = 1.0
                 continue
@@ -258,6 +310,21 @@ class Telemetry:
                 }
         if cache_stats is not None:
             out["programmed_cache"] = cache_stats
+        if (
+            self.retries
+            or self.timeouts
+            or self.failed
+            or self.crashes
+            or self.replacements
+        ):
+            out["resilience"] = {
+                "retries": self.retries,
+                "hedges": self.hedges,
+                "timeouts": self.timeouts,
+                "failed": self.failed,
+                "crashes": self.crashes,
+                "replacements": self.replacements,
+            }
         return out
 
 
@@ -283,6 +350,10 @@ class _StepRecord:
     step_s: float
     kv_blocks: int
     kv_occupancy: float
+    # Extra wall time beyond the analytic step cost (degraded/slow
+    # worker).  Kept separate from ``step_s`` so the analytic decode
+    # cross-check stays exact through fault storms.
+    stall_s: float = 0.0
 
 
 @dataclass
@@ -314,6 +385,19 @@ class EngineTelemetry:
         self.preemptions = 0
         self.preemptions_by_class: Counter = Counter()
         self.prefix_records: List[_PrefixRecord] = []
+        # Fault/recovery plane (PR 6) — all zero on fault-free runs.
+        self.faults_injected: Counter = Counter()  # by FaultKind
+        self.faults_corrected = 0
+        self.faults_uncorrectable = 0
+        self.tokens_retried = 0
+        self.sessions_recovered = 0
+        self.sessions_failed = 0
+        self.sessions_shed = 0
+        self.recovery_reprefill_tokens = 0
+        self.kv_blocks_lost = 0
+        self.replica_crashes = 0
+        self.replicas_replaced = 0
+        self.health_transitions: List[Dict] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -328,6 +412,7 @@ class EngineTelemetry:
         step_s: float,
         kv_blocks: int,
         kv_occupancy: float,
+        stall_s: float = 0.0,
     ) -> None:
         self.steps.append(
             _StepRecord(
@@ -340,6 +425,7 @@ class EngineTelemetry:
                 step_s,
                 kv_blocks,
                 kv_occupancy,
+                stall_s=stall_s,
             )
         )
 
@@ -357,6 +443,55 @@ class EngineTelemetry:
         """One admission's prefix-cache outcome (lookups only — an
         engine with caching disabled records nothing here)."""
         self.prefix_records.append(_PrefixRecord(prompt_tokens, cached_tokens))
+
+    def record_fault(self, kind: str) -> None:
+        """One injected fault event applied to the engine."""
+        self.faults_injected[kind] += 1
+
+    def record_transient(self, uncorrectable: bool, tokens_retried: int = 0) -> None:
+        """One RRNS-detected transient compute fault.
+
+        Corrected faults cost nothing (the redundant residues absorb
+        them); uncorrectable ones poison the affected session's step
+        output, which is discarded and recomputed — ``tokens_retried``
+        counts that discarded work.
+        """
+        if uncorrectable:
+            self.faults_uncorrectable += 1
+            self.tokens_retried += tokens_retried
+        else:
+            self.faults_corrected += 1
+
+    def record_recovery(self, session, reprefill_tokens: int) -> None:
+        """A session rescued off a dead replica (or lost KV) and
+        requeued; ``reprefill_tokens`` is the context it must rebuild."""
+        self.sessions_recovered += 1
+        self.recovery_reprefill_tokens += int(reprefill_tokens)
+
+    def record_session_failure(self, session) -> None:
+        """A session abandoned because recovery is disabled (or
+        impossible) after its replica died."""
+        self.sessions_failed += 1
+
+    def record_shed(self, session) -> None:
+        """A waiting session shed to protect higher classes under
+        capacity loss; also counts as a rejection for SLO purposes."""
+        self.sessions_shed += 1
+        self.rejected.append(session)
+
+    def record_kv_loss(self, blocks: int) -> None:
+        self.kv_blocks_lost += int(blocks)
+
+    def record_crash(self, worker_id: int) -> None:
+        self.replica_crashes += 1
+
+    def record_replacement(self, dead_worker_id: int, new_worker_id: int) -> None:
+        self.replicas_replaced += 1
+
+    def record_health_transition(self, transition: Dict) -> None:
+        """One monitor transition (healthy→suspect→dead) with timing —
+        the unavailability-window audit trail."""
+        self.health_transitions.append(dict(transition))
 
     # ------------------------------------------------------------------
     # Reductions
@@ -482,6 +617,57 @@ class EngineTelemetry:
         met = sum(1 for v in ttfts if v <= slo_s + 1e-15)
         return met / total
 
+    def stall_time(self) -> float:
+        """Total wall time lost to degraded (slow) workers."""
+        return float(sum(r.stall_s for r in self.steps))
+
+    def unavailability_windows(self) -> List[Dict[str, float]]:
+        """Per-worker fail→dead detection windows from the transitions."""
+        fail_seen: Dict[int, Dict[str, float]] = {}
+        windows: List[Dict[str, float]] = []
+        for tr in self.health_transitions:
+            wid = tr["worker_id"]
+            if tr["to"] == "suspect" and wid not in fail_seen:
+                fail_seen[wid] = {
+                    "worker_id": wid,
+                    "failed_at_s": tr["t"] - tr["silent_for_s"],
+                    "suspected_at_s": tr["t"],
+                }
+            elif tr["to"] == "dead":
+                win = fail_seen.pop(
+                    wid,
+                    {
+                        "worker_id": wid,
+                        "failed_at_s": tr["t"] - tr["silent_for_s"],
+                        "suspected_at_s": tr["t"],
+                    },
+                )
+                win["dead_at_s"] = tr["t"]
+                win["detection_s"] = win["dead_at_s"] - win["failed_at_s"]
+                windows.append(win)
+        # Workers suspected but never declared dead (storm ended first).
+        windows.extend(fail_seen.values())
+        return windows
+
+    def fault_stats(self) -> Dict[str, object]:
+        """One dict aggregating the whole fault/recovery plane."""
+        return {
+            "injected": {k: int(v) for k, v in sorted(self.faults_injected.items())},
+            "transient_corrected": self.faults_corrected,
+            "transient_uncorrectable": self.faults_uncorrectable,
+            "tokens_retried": self.tokens_retried,
+            "sessions_recovered": self.sessions_recovered,
+            "sessions_failed": self.sessions_failed,
+            "sessions_shed": self.sessions_shed,
+            "recovery_reprefill_tokens": self.recovery_reprefill_tokens,
+            "kv_blocks_lost": self.kv_blocks_lost,
+            "replica_crashes": self.replica_crashes,
+            "replicas_replaced": self.replicas_replaced,
+            "health_transitions": len(self.health_transitions),
+            "unavailability_windows": self.unavailability_windows(),
+            "stall_s": self.stall_time(),
+        }
+
     def cross_check_decode_model(
         self, step_fn: Callable[[str, Sequence[int], Sequence[int]], float]
     ) -> Dict[str, float]:
@@ -523,6 +709,14 @@ class EngineTelemetry:
             "kv": self.kv_stats(),
             "prefix": self.prefix_stats(),
         }
+        if (
+            self.faults_injected
+            or self.sessions_recovered
+            or self.sessions_failed
+            or self.replica_crashes
+            or self.health_transitions
+        ):
+            out["faults"] = self.fault_stats()
         if ttft_slo_s is not None:
             out["ttft_slo_s"] = ttft_slo_s
             out["ttft_slo_attainment"] = self.ttft_slo_attainment(ttft_slo_s)

@@ -1,0 +1,513 @@
+"""Fault injection and fleet recovery: plans, health, retries, rescue."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import FaultTolerantCore, rrns_fault_rates
+from repro.nn import KVCacheSpec, Linear, Sequential, Tanh
+from repro.serve import (
+    DecodeModelProfile,
+    EngineConfig,
+    ExecutorPool,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FleetMonitor,
+    HealthPolicy,
+    RequestStatus,
+    RetryPolicy,
+    ServingRuntime,
+    TokenServingEngine,
+    WorkerHealth,
+    sequential_decode_outputs,
+)
+from repro.arch.config import MirageConfig
+from repro.arch.memory import MemorySystemModel
+from repro.serve.batcher import BatchPolicy
+from repro.serve.runtime import ModelProfile
+from repro.serve.traffic import Scenario
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+def mlp(seed=0, dim=12, hidden=24):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(dim, hidden, rng=rng), Tanh(), Linear(hidden, dim, rng=rng)
+    )
+
+
+def profile(replicas=3, dim=12, **kw):
+    kw.setdefault("kv", KVCacheSpec(num_layers=2, num_heads=2, head_dim=4))
+    return DecodeModelProfile(
+        "m0", mlp(dim=dim), replicas=replicas, **kw
+    )
+
+
+def make_engine(replicas=3, blocks=256, block_tokens=4, health=None, **config_kw):
+    prof = profile(replicas=replicas)
+    memory = MemorySystemModel(
+        MirageConfig(sram_bytes=blocks * block_tokens * prof.kv.bytes_per_token)
+    )
+    config = EngineConfig(
+        block_tokens=block_tokens, kv_fraction=1.0, **config_kw
+    )
+    return TokenServingEngine(
+        ExecutorPool(replicas), prof, config, memory=memory,
+        health=health or HealthPolicy(suspect_after_s=1e-7, dead_after_s=3e-7),
+    )
+
+
+def decode_trace(n=12, spacing=1e-7, prompt=6, decode=8):
+    arrivals = tuple(
+        (i * spacing, "m0", i % 3, prompt, decode) for i in range(n)
+    )
+    return Scenario("decode", arrivals, n * spacing + 1e-9)
+
+
+def make_runtime(workers=3, replicas=3, retry=None, health=None, model=None):
+    pool = ExecutorPool(workers)
+    rt = ServingRuntime(
+        pool,
+        BatchPolicy(max_batch_size=4, max_wait_s=0.0),
+        retry=retry or RetryPolicy(max_retries=2, deadline_s=1e-3),
+        health=health or HealthPolicy(suspect_after_s=1e-9, dead_after_s=2e-9),
+    )
+    rt.register_model(
+        ModelProfile("m", model or mlp(dim=64), replicas=replicas, slo_s=1e-3)
+    )
+    return rt
+
+
+# ----------------------------------------------------------------------
+# Plan and event validation
+# ----------------------------------------------------------------------
+class TestFaultEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, FaultKind.REPLICA_CRASH)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, "meteor_strike")
+
+    def test_slow_requires_severity_and_duration(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, FaultKind.WORKER_SLOW, severity=0.5, duration_s=1.0)
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, FaultKind.WORKER_SLOW, severity=2.0)
+
+    def test_duration_only_meaningful_for_slow(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, FaultKind.REPLICA_CRASH, duration_s=1.0)
+
+    def test_uncorrectable_threshold(self):
+        assert FaultEvent(0.0, FaultKind.TRANSIENT, severity=1.0).uncorrectable
+        assert not FaultEvent(
+            0.0, FaultKind.TRANSIENT, severity=0.5
+        ).uncorrectable
+
+    def test_plan_sorts_events(self):
+        plan = FaultPlan(
+            (
+                FaultEvent(2.0, FaultKind.REPLICA_CRASH),
+                FaultEvent(1.0, FaultKind.KV_LOSS),
+            )
+        )
+        assert [e.t for e in plan.events] == [1.0, 2.0]
+
+    def test_merge_and_kinds(self):
+        a = FaultPlan.replica_kills([(1.0, 0)])
+        b = FaultPlan.slow_worker(2.0, 1, factor=2.0, duration_s=0.5)
+        merged = a.merge(b)
+        assert merged.kinds() == {"replica_crash": 1, "worker_slow": 1}
+
+    def test_replica_kills_kind_checked(self):
+        with pytest.raises(ValueError):
+            FaultPlan.replica_kills([(1.0, 0)], kind=FaultKind.KV_LOSS)
+
+
+class TestFaultInjector:
+    def test_fires_each_event_once_in_order(self):
+        plan = FaultPlan(
+            tuple(FaultEvent(t, FaultKind.REPLICA_CRASH) for t in (1.0, 2.0, 3.0))
+        )
+        inj = FaultInjector(plan)
+        assert inj.next_time() == 1.0
+        assert [e.t for e in inj.due(2.5)] == [1.0, 2.0]
+        assert inj.due(2.5) == []
+        assert inj.next_time() == 3.0
+        assert [e.t for e in inj.due(10.0)] == [3.0]
+        assert inj.exhausted and inj.next_time() is None
+        assert len(inj.applied) == 3
+
+    def test_storm_deterministic_in_seed(self):
+        kw = dict(start=0.0, stop=1.0, rate_per_s=50.0, p_uncorrectable=0.3)
+        a = FaultPlan.transient_storm(seed=7, kv_loss_share=0.2, **kw)
+        b = FaultPlan.transient_storm(seed=7, kv_loss_share=0.2, **kw)
+        c = FaultPlan.transient_storm(seed=8, kv_loss_share=0.2, **kw)
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()
+        assert all(0.0 <= e.t <= 1.0 for e in a.events)
+        assert set(a.kinds()) <= {"transient_fault", "kv_loss"}
+
+
+class TestRRNSRates:
+    def test_rates_match_binomial_arithmetic(self):
+        codec = FaultTolerantCore().codec
+        p = 0.01
+        rates = rrns_fault_rates(codec, p)
+        channels = len(codec.info_moduli) + len(codec.redundant_moduli)
+        assert rates["channels"] == channels
+        assert rates["detected"] == pytest.approx(1 - (1 - p) ** channels)
+        correctable = sum(
+            math.comb(channels, k) * p**k * (1 - p) ** (channels - k)
+            for k in range(1, codec.max_correctable() + 1)
+        )
+        assert rates["correctable"] == pytest.approx(correctable)
+        assert rates["uncorrectable"] == pytest.approx(
+            rates["detected"] - correctable
+        )
+
+    def test_core_method_delegates(self):
+        core = FaultTolerantCore()
+        assert core.fault_rates(1e-3) == rrns_fault_rates(core.codec, 1e-3)
+
+    def test_from_rrns_rates_scales_to_op_rate(self):
+        rates = rrns_fault_rates(FaultTolerantCore().codec, 0.02)
+        plan = FaultPlan.from_rrns_rates(
+            rates, op_rate_per_s=5e3 / rates["detected"], start=0.0, stop=1.0,
+            seed=3,
+        )
+        # Expected ~5e3 detected faults in the window; Poisson spread.
+        assert 4.5e3 < len(plan.events) < 5.5e3
+        share = sum(
+            1 for e in plan.events if e.uncorrectable
+        ) / len(plan.events)
+        expected = rates["uncorrectable"] / rates["detected"]
+        assert share == pytest.approx(expected, rel=0.25)
+
+
+# ----------------------------------------------------------------------
+# Health machine
+# ----------------------------------------------------------------------
+class TestHealthMonitor:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(suspect_after_s=0.0)
+        with pytest.raises(ValueError):
+            HealthPolicy(suspect_after_s=2.0, dead_after_s=1.0)
+
+    def test_healthy_suspect_dead_progression(self):
+        pool = ExecutorPool(2)
+        pool.place("a", mlp(dim=8), replicas=2)
+        mon = FleetMonitor(pool, HealthPolicy(suspect_after_s=1.0, dead_after_s=3.0))
+        pool.crash(0, now=10.0)
+        assert mon.observe(10.5) == []
+        assert mon.next_transition_time() == pytest.approx(11.0)
+        (tr,) = mon.observe(11.2)
+        assert (tr["from"], tr["to"]) == ("healthy", "suspect")
+        assert pool.workers[0].health == WorkerHealth.SUSPECT
+        assert mon.next_transition_time() == pytest.approx(13.0)
+        (tr,) = mon.observe(14.0)
+        assert (tr["from"], tr["to"]) == ("suspect", "dead")
+        assert mon.observe(15.0) == []  # dead is terminal
+        assert mon.next_transition_time() is None
+
+    def test_skipped_sweep_still_passes_through_suspect(self):
+        pool = ExecutorPool(1)
+        pool.place("a", mlp(dim=8), replicas=1)
+        mon = FleetMonitor(pool, HealthPolicy(suspect_after_s=1.0, dead_after_s=2.0))
+        pool.crash(0, now=0.0)
+        transitions = mon.observe(5.0)  # one late sweep sees both edges
+        assert [t["to"] for t in transitions] == ["suspect", "dead"]
+
+    def test_responsive_workers_refresh_last_seen(self):
+        pool = ExecutorPool(1)
+        pool.place("a", mlp(dim=8), replicas=1)
+        mon = FleetMonitor(pool, HealthPolicy(suspect_after_s=1.0, dead_after_s=2.0))
+        mon.observe(7.0)
+        assert pool.workers[0].last_seen == 7.0
+        assert pool.workers[0].health == WorkerHealth.HEALTHY
+
+
+# ----------------------------------------------------------------------
+# Config validation (satellite: explicit errors, not silent nonsense)
+# ----------------------------------------------------------------------
+class TestKnobValidation:
+    def test_retry_policy(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_s=0.0)
+
+    def test_engine_max_waiting(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_waiting=0)
+        assert EngineConfig(max_waiting=None).max_waiting is None
+
+    def test_decode_profile_replicas_and_slo(self):
+        with pytest.raises(ValueError):
+            profile(replicas=0)
+        with pytest.raises(ValueError):
+            profile(ttft_slo_s=-1.0)
+
+    def test_static_engine_rejects_faults(self):
+        engine = make_engine(continuous=False)
+        plan = FaultPlan.replica_kills([(1e-7, 0)])
+        with pytest.raises(ValueError, match="continuous"):
+            engine.run(decode_trace(2), seed=0, faults=plan)
+
+    def test_runtime_rejects_session_kind_plans(self):
+        rt = make_runtime()
+        plan = FaultPlan((FaultEvent(1e-7, FaultKind.TRANSIENT, severity=1.0),))
+        scen = Scenario("s", ((0.0, "m"),), 1e-6)
+        with pytest.raises(ValueError, match="session"):
+            rt.run(scen, faults=plan)
+
+
+# ----------------------------------------------------------------------
+# Engine: crash recovery, transients, KV loss
+# ----------------------------------------------------------------------
+class TestEngineRecovery:
+    def storm(self):
+        return FaultPlan(
+            (
+                FaultEvent(3e-7, FaultKind.REPLICA_CRASH, target=0),
+                FaultEvent(5e-7, FaultKind.TRANSIENT, target=4, severity=1.0),
+                FaultEvent(6e-7, FaultKind.TRANSIENT, target=2, severity=0.1),
+                FaultEvent(7e-7, FaultKind.KV_LOSS, target=1),
+            )
+        )
+
+    def test_storm_completes_all_sessions_bit_exactly(self):
+        scen = decode_trace()
+        reference = sequential_decode_outputs(profile(), scen, seed=0)
+        engine = make_engine()
+        tel = engine.run(scen, seed=0, faults=self.storm())
+        assert len(tel.sessions) == 12
+        assert all(s.status == RequestStatus.COMPLETED for s in tel.sessions)
+        for s in tel.sessions:
+            assert len(s.outputs) == len(reference[s.session_id])
+            for got, want in zip(s.outputs, reference[s.session_id]):
+                assert np.array_equal(got, want)
+
+    def test_storm_telemetry_and_ledgers(self):
+        engine = make_engine()
+        tel = engine.run(decode_trace(), seed=0, faults=self.storm())
+        stats = tel.fault_stats()
+        assert stats["injected"] == {
+            "replica_crash": 1, "transient_fault": 2, "kv_loss": 1
+        }
+        assert stats["transient_corrected"] == 1
+        assert stats["transient_uncorrectable"] == 1
+        assert stats["tokens_retried"] >= 1
+        assert tel.replica_crashes == 1 and tel.replicas_replaced == 1
+        assert tel.sessions_recovered >= 1 and tel.sessions_failed == 0
+        assert tel.kv_blocks_lost > 0
+        assert engine.kv.refcounts_balanced()
+        engine.kv.check_invariants()
+        # Detection is explicit: a crash produces suspect and dead edges.
+        kinds = [(tr["from"], tr["to"]) for tr in tel.health_transitions]
+        assert ("healthy", "suspect") in kinds and ("suspect", "dead") in kinds
+        (window,) = tel.unavailability_windows()
+        assert window["detection_s"] > 0
+
+    def test_analytic_cross_check_survives_faults(self):
+        scen = decode_trace()
+        engine = make_engine()
+        plan = self.storm().merge(
+            FaultPlan.slow_worker(4e-7, 1, factor=3.0, duration_s=5e-7)
+        )
+        tel = engine.run(scen, seed=0, faults=plan)
+        report = engine.report(scen)
+        # Stalls are booked as wall time, never folded into the nominal
+        # analytic step cost — so the from-scratch re-derivation stays
+        # exact even with a degraded worker in the fleet.
+        assert report["analytic_consistency"]["max_abs_error_s"] == 0.0
+        assert tel.stall_time() > 0.0
+
+    def test_invariants_hold_after_every_fault_event(self):
+        engine = make_engine()
+        checked = []
+        orig = engine._apply_fault
+
+        def checking(event, now, waiting, running):
+            orig(event, now, waiting, running)
+            engine.kv.check_invariants()
+            checked.append(event.kind)
+
+        engine._apply_fault = checking
+        engine.run(decode_trace(), seed=0, faults=self.storm())
+        assert len(checked) == 4
+        assert engine.kv.refcounts_balanced()
+
+    def test_replay_is_deterministic(self):
+        scen = decode_trace()
+        plan = self.storm()
+        a = make_engine()
+        ta = a.run(scen, seed=0, faults=plan)
+        b = make_engine()
+        tb = b.run(scen, seed=0, faults=plan)
+        assert ta.fault_stats() == tb.fault_stats()
+        assert ta.makespan() == tb.makespan()
+        assert [s.session_id for s in ta.sessions] == [
+            s.session_id for s in tb.sessions
+        ]
+        assert [
+            (tr["t"], tr["worker_id"], tr["to"]) for tr in ta.health_transitions
+        ] == [(tr["t"], tr["worker_id"], tr["to"]) for tr in tb.health_transitions]
+
+    def test_uncorrectable_transient_retries_token_without_drift(self):
+        scen = decode_trace(n=3)
+        reference = sequential_decode_outputs(profile(), scen, seed=0)
+        engine = make_engine()
+        plan = FaultPlan(
+            (FaultEvent(2e-7, FaultKind.TRANSIENT, target=0, severity=1.0),)
+        )
+        tel = engine.run(scen, seed=0, faults=plan)
+        assert tel.tokens_retried >= 1
+        assert tel.faults_uncorrectable == 1
+        for s in tel.sessions:
+            for got, want in zip(s.outputs, reference[s.session_id]):
+                assert np.array_equal(got, want)
+
+    def test_kv_loss_forces_recovery_and_reprefill(self):
+        engine = make_engine()
+        plan = FaultPlan((FaultEvent(4e-7, FaultKind.KV_LOSS, target=0),))
+        tel = engine.run(decode_trace(), seed=0, faults=plan)
+        assert tel.kv_blocks_lost > 0
+        assert tel.sessions_recovered == 1
+        assert tel.recovery_reprefill_tokens > 0
+        assert len(tel.sessions) == 12
+        assert engine.kv.refcounts_balanced()
+        recovered = [s for s in tel.sessions if s.recoveries > 0]
+        assert len(recovered) == 1
+
+    def test_no_recovery_baseline_fails_sessions(self):
+        plan = FaultPlan.replica_kills([(3e-7, 0), (4e-7, 0)])
+        engine = make_engine(recovery=False)
+        tel = engine.run(decode_trace(), seed=0, faults=plan)
+        # With recovery off, dead replicas are never replaced and their
+        # homed sessions terminate FAILED instead of resuming.
+        assert tel.replicas_replaced == 0
+        total = len(tel.sessions) + tel.sessions_failed
+        assert total == 12
+        assert engine.kv.refcounts_balanced()
+
+    def test_max_waiting_sheds_lowest_class_first(self):
+        # One live replica, a kill, and a long backlog: the waiting
+        # queue overflows and batch-class traffic sheds first.
+        arrivals = tuple(
+            (i * 1e-9, "m0", (0 if i < 10 else 2), 6, 8) for i in range(14)
+        )
+        scen = Scenario("decode", arrivals, 1e-6)
+        engine = make_engine(
+            max_batch_size=2, max_prefills_per_step=1, max_waiting=4
+        )
+        tel = engine.run(scen, seed=0, faults=FaultPlan.replica_kills([(5e-8, 0)]))
+        assert tel.sessions_shed > 0
+        shed = [s for s in tel.rejected if s.status == RequestStatus.EVICTED]
+        assert shed and all(s.priority == 0 for s in shed)
+        # Interactive sessions all completed despite the shedding.
+        done = {s.session_id for s in tel.sessions}
+        interactive = [i for i in range(14) if i >= 10]
+        assert set(interactive) <= done
+
+    def test_fault_free_run_identical_with_and_without_fault_plane(self):
+        scen = decode_trace()
+        plain = make_engine()
+        t_plain = plain.run(scen, seed=0)
+        armed = make_engine()
+        # A plan whose only event lands after the run drains: the fault
+        # plane is live but never fires, and nothing may change.
+        t_armed = armed.run(
+            scen, seed=0, faults=FaultPlan.replica_kills([(10.0, 0)])
+        )
+        assert t_plain.makespan() == t_armed.makespan()
+        assert len(t_plain.sessions) == len(t_armed.sessions)
+        for a, b in zip(t_plain.sessions, t_armed.sessions):
+            assert a.session_id == b.session_id
+            for ra, rb in zip(a.outputs, b.outputs):
+                assert np.array_equal(ra, rb)
+
+
+# ----------------------------------------------------------------------
+# Runtime: deadlines, retries, hedging, replacement
+# ----------------------------------------------------------------------
+class TestRuntimeRecovery:
+    def test_crash_mid_batch_retries_on_replacement(self):
+        rt = make_runtime(workers=1, replicas=1)
+        svc = rt.service.batch_latency("m", 1)
+        scen = Scenario("s", ((0.0, "m", 2),), 1e-5)
+        plan = FaultPlan.replica_kills([(svc * 0.5, 0)])
+        tel = rt.run(scen, faults=plan)
+        assert len(tel.completed) == 1
+        assert tel.retries == 1 and tel.hedges == 1
+        assert tel.crashes == 1 and tel.replacements == 1
+        req = tel.completed[0]
+        assert req.retries == 1
+        assert req.worker_id == 1  # finished on the replacement worker
+        assert req.status == RequestStatus.COMPLETED
+
+    def test_no_retry_budget_fails_request(self):
+        rt = make_runtime(
+            workers=1, replicas=1, retry=RetryPolicy(max_retries=0)
+        )
+        svc = rt.service.batch_latency("m", 1)
+        scen = Scenario("s", ((0.0, "m"),), 1e-5)
+        tel = rt.run(scen, faults=FaultPlan.replica_kills([(svc * 0.5, 0)]))
+        assert len(tel.completed) == 0 and tel.failed == 1
+        assert tel.retries == 0
+
+    def test_tight_deadline_times_out_instead_of_late_retry(self):
+        rt = make_runtime(workers=1, replicas=1)
+        svc = rt.service.batch_latency("m", 1)
+        rt2 = make_runtime(
+            workers=1,
+            replicas=1,
+            retry=RetryPolicy(max_retries=5, deadline_s=svc * 0.25),
+        )
+        scen = Scenario("s", ((0.0, "m"),), 1e-5)
+        tel = rt2.run(scen, faults=FaultPlan.replica_kills([(svc * 0.5, 0)]))
+        assert tel.timeouts == 1 and len(tel.completed) == 0
+
+    def test_multi_replica_crash_keeps_slo_and_accounts(self):
+        rt = make_runtime()
+        arrivals = tuple((i * 2e-7, "m", i % 3) for i in range(30))
+        scen = Scenario("s", arrivals, 1e-5)
+        plan = FaultPlan.replica_kills([(5e-7, 0)]).merge(
+            FaultPlan.slow_worker(1.2e-6, 1, factor=2.5, duration_s=2e-6)
+        )
+        tel = rt.run(scen, faults=plan)
+        rep = rt.report(scen)
+        assert tel.crashes == 1 and tel.replacements == 1
+        assert len(tel.completed) + tel.timeouts + tel.failed == 30
+        assert rep["analytic_consistency"]["max_abs_error_s"] == 0.0
+        assert rep["faults_applied"] == 2
+        assert len(rep["health_transitions"]) == 2
+        assert "resilience" in rep
+
+    def test_replay_is_deterministic(self):
+        arrivals = tuple((i * 2e-7, "m", i % 3) for i in range(30))
+        scen = Scenario("s", arrivals, 1e-5)
+        plan = FaultPlan.replica_kills([(5e-7, 0), (9e-7, 1)])
+        a = make_runtime().run(scen, faults=plan)
+        b = make_runtime().run(scen, faults=plan)
+        assert (a.retries, a.hedges, a.timeouts, a.failed) == (
+            b.retries, b.hedges, b.timeouts, b.failed
+        )
+        assert [r.completion_time for r in a.completed] == [
+            r.completion_time for r in b.completed
+        ]
+
+    def test_fault_free_run_has_inert_resilience_counters(self):
+        rt = make_runtime()
+        arrivals = tuple((i * 2e-7, "m") for i in range(10))
+        tel = rt.run(Scenario("s", arrivals, 1e-5))
+        assert tel.retries == tel.hedges == tel.timeouts == tel.failed == 0
+        assert "resilience" not in rt.report(Scenario("s", arrivals, 1e-5))

@@ -292,3 +292,136 @@ class TestWorkerStatsUnderChurn:
         pool.place("a", model, replicas=1)
         pool.workers[0].run_batch("a", model, [np.zeros(8)], 0.0, 0.1)
         assert pool.worker_stats()[0]["tokens"] == 0
+
+
+class TestHealthAwareScaling:
+    """Scale/replace behaviour once workers can crash or turn suspect."""
+
+    def test_scale_down_retires_suspect_before_healthy(self):
+        pool = ExecutorPool(3)
+        pool.place("a", mlp(0), replicas=3, prewarm=True)
+        first = pool.replicas("a")[0]
+        pool.workers[first].health = "suspect"
+        delta = pool.scale_to("a", 2, now=0.0)
+        # Age says the *last-added* healthy worker should go; a suspect
+        # worker outranks age — shedding capacity should shed the
+        # replica most likely to fail next.
+        assert delta["removed"] == [first]
+        assert first not in pool.replicas("a")
+
+    def test_scale_down_retires_dead_before_suspect(self):
+        pool = ExecutorPool(4)
+        pool.place("a", mlp(0), replicas=4, prewarm=True)
+        wids = pool.replicas("a")
+        pool.workers[wids[0]].health = "suspect"
+        pool.crash(wids[1], now=0.0)
+        delta = pool.scale_to("a", 2, now=1.0)
+        assert set(delta["removed"]) == {wids[1], wids[0]}
+
+    def test_suspect_retiree_keeps_booked_window(self):
+        # Drain-before-retire: a suspect worker mid-batch keeps its
+        # booked window when retired (the in-flight batch finishes or
+        # times out on its own clock), it just stops receiving work.
+        pool = ExecutorPool(2)
+        pool.place("a", mlp(0), replicas=2, prewarm=True)
+        victim = pool.replicas("a")[0]
+        pool.workers[victim].health = "suspect"
+        pool.workers[victim].busy_until = 7.0
+        pool.scale_to("a", 1, now=0.0)
+        assert pool.workers[victim].busy_until == 7.0
+        assert victim not in pool.replicas("a")
+
+    def test_scale_up_never_adds_dead_or_unresponsive_workers(self):
+        pool = ExecutorPool(3)
+        pool.place("a", mlp(0), replicas=1, prewarm=True)
+        spare = [w.worker_id for w in pool.workers if w.worker_id not in pool.replicas("a")]
+        pool.crash(spare[0], now=0.0)
+        delta = pool.scale_to("a", 3, now=1.0)
+        assert spare[0] not in pool.replicas("a")
+        assert spare[0] not in delta["added"]
+        assert pool.num_replicas("a") == 2  # only live candidates join
+
+    def test_replace_worker_refuses_live_and_swaps_dead(self):
+        pool = ExecutorPool(2)
+        model = mlp(0)
+        pool.place("a", model, replicas=2, prewarm=True)
+        with pytest.raises(ValueError):
+            pool.replace_worker(0, now=1.0)
+        pool.crash(0, now=1.0)
+        pool.workers[0].health = "dead"
+        new_wid = pool.replace_worker(0, now=2.0, prewarm_latency_s=0.5)
+        assert new_wid == 2
+        # worker_id == index in pool.workers stays true for replacements.
+        assert pool.workers[new_wid].worker_id == new_wid
+        assert sorted(pool.replicas("a")) == [1, 2]
+        fresh = pool.workers[new_wid]
+        assert "a" in fresh.models_programmed
+        assert fresh.busy_until == pytest.approx(2.5)  # reprogram charge
+        with pytest.raises(ValueError):
+            pool.replace_worker(new_wid, now=3.0)  # replacement is live
+
+    def test_replace_worker_accepts_per_model_charge_callable(self):
+        pool = ExecutorPool(1)
+        pool.place("a", mlp(0), replicas=1, prewarm=True)
+        pool.crash(0, now=0.0)
+        new_wid = pool.replace_worker(
+            0, now=1.0, prewarm_latency_s=lambda name: {"a": 0.25}[name]
+        )
+        assert pool.workers[new_wid].busy_until == pytest.approx(1.25)
+        assert pool.workers[new_wid].busy_time == pytest.approx(0.25)
+
+    def test_ledgers_consistent_through_crash_and_replace(self):
+        pool = ExecutorPool(2)
+        model = mlp(0)
+        pool.place("a", model, replicas=2, prewarm=True)
+        pool.workers[0].run_batch("a", model, [np.zeros(8)], 0.0, 0.1, tokens=2)
+        pool.workers[1].run_batch("a", model, [np.zeros(8)], 0.0, 0.1, tokens=3)
+        pool.crash(0, now=0.2)
+        new_wid = pool.replace_worker(0, now=0.3, prewarm_latency_s=0.05)
+        pool.workers[new_wid].run_batch(
+            "a", model, [np.zeros(8)], 0.4, 0.1, tokens=4
+        )
+        stats = {s["worker_id"]: s for s in pool.worker_stats()}
+        # The dead worker's lifetime ledgers stay auditable ...
+        assert set(stats) == {0, 1, 2}
+        assert stats[0]["batches"] == 1 and stats[0]["tokens"] == 2
+        assert stats[0]["responsive"] is False
+        # ... the replacement starts fresh plus its reprogram charge ...
+        assert stats[new_wid]["batches"] == 1
+        assert stats[new_wid]["tokens"] == 4
+        assert stats[new_wid]["busy_time_s"] == pytest.approx(0.15)
+        # ... and fleet totals balance: nothing double-counted or lost.
+        assert sum(s["tokens"] for s in stats.values()) == 9
+        assert sum(s["batches"] for s in stats.values()) == 3
+
+    def test_routing_and_resolution_skip_crashed_workers(self):
+        pool = ExecutorPool(3)
+        pool.place("a", mlp(0), replicas=3, prewarm=True)
+        pool.crash(1, now=0.0)
+        for _ in range(6):
+            assert pool.route("a", 1.0).worker_id != 1
+        assert pool.live_replicas("a") == [0, 2]
+        # Selectors index live workers sorted by id, modulo their count.
+        assert pool.resolve_worker(0) == 0
+        assert pool.resolve_worker(1) == 2
+        assert pool.resolve_worker(2) == 0
+        pool.crash(0, now=0.0)
+        pool.crash(2, now=0.0)
+        assert pool.resolve_worker(0) is None
+
+    def test_crash_is_idempotent_and_records_first_fail_time(self):
+        pool = ExecutorPool(1)
+        pool.place("a", mlp(0), replicas=1)
+        pool.crash(0, now=1.0)
+        pool.crash(0, now=5.0)
+        assert pool.workers[0].fail_time == 1.0
+        assert pool.workers[0].responsive is False
+
+    def test_slow_worker_scales_service_until_deadline(self):
+        pool = ExecutorPool(1)
+        pool.place("a", mlp(0), replicas=1)
+        with pytest.raises(ValueError):
+            pool.slow(0, factor=0.5, until=1.0)
+        pool.slow(0, factor=3.0, until=2.0)
+        assert pool.workers[0].service_scale(1.0) == 3.0
+        assert pool.workers[0].service_scale(2.5) == 1.0
