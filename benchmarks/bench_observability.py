@@ -1,0 +1,304 @@
+"""Observability benchmark — the tracing plane on a replayed fault storm.
+
+Replays the resilience storm (same traffic, fault plan and health policy
+as ``bench_resilience.py``) through the token serving engine with the
+full observability plane attached — span tracer, metrics registry,
+hardware-attribution profiler and SLO burn-rate monitors — and writes
+``BENCH_observability.json`` at the repo root.
+
+Gates (the ISSUE bar):
+
+* **gap-free timelines** — every completed session's phase spans
+  (queue_wait / prefill / decode / stall / dispatch_wait) tile
+  ``[arrival, retire]`` with *exact float boundaries*: no simulated
+  nanosecond of a session's life is unaccounted for, even through
+  preemption, replica death, stalls and recovery;
+* **exact attribution** — the :class:`HardwareAttributionProfiler`
+  re-derives every recorded step from ``arch.inference`` component
+  pricing; the reconstruction must equal the recorded busy time
+  **bit-for-bit** (``max_abs_error_s == 0.0`` and the attributed sum
+  identical to the recorded sum);
+* **lossless metrics export** — ``parse_prometheus_text(render())``
+  recovers exactly ``registry.samples()``;
+* **byte-identical replays** — two fresh traced runs of the same seeded
+  storm dump byte-identical Chrome trace JSON and Prometheus text;
+* **bounded overhead** — best-of-3 wall-clock of the fully traced run
+  is <= 1.25x the untraced (``Observability(tracing=False)``) run, and
+  tracing does not perturb the simulation (identical makespan and
+  session count).
+
+``REPRO_SMOKE=1`` (the default test tier, see the root conftest) runs a
+tiny-trace fast pass of every gate except the wall-clock ratio (too
+noisy at micro scale) without touching the committed JSON.
+
+Run:  REPRO_FULL=1 PYTHONPATH=src python -m pytest benchmarks/bench_observability.py -s
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import FaultTolerantCore, rrns_fault_rates
+from repro.nn import KVCacheSpec, Linear, Sequential, Tanh
+from repro.serve import (
+    DecodeModelProfile,
+    EngineConfig,
+    ExecutorPool,
+    FaultPlan,
+    HealthPolicy,
+    Observability,
+    SLOSpec,
+    SLOTracker,
+    TokenServingEngine,
+    decode_scenario,
+    default_windows,
+    parse_prometheus_text,
+)
+
+SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+pytestmark = [] if SMOKE else [pytest.mark.slow]
+
+# Identical knobs to bench_resilience.py: the storm this plane observes
+# is the storm the resilience gate already proves survivable.
+RATE = 4e8 if SMOKE else 1.2e9
+DURATION = 1e-7 if SMOKE else 4e-7
+MAX_BATCH = 4 if SMOKE else 16
+PROMPT_MEDIAN = 8 if SMOKE else 24
+PROMPT_MAX = 24 if SMOKE else 96
+DECODE_MEAN = 5 if SMOKE else 16
+DECODE_MAX = 16 if SMOKE else 96
+CLASS_MIX = {0: 4, 2: 1}
+KV_FRACTION = 0.25
+BLOCK_TOKENS = 16
+TTFT_SLO_S = 2e-3
+REPLICAS = 3
+P_CHANNEL = 1e-3
+SEED_TRAFFIC = 11
+SEED_RUN = 5
+SEED_STORM = 23
+OVERHEAD_BUDGET = 1.25
+SLO_OBJECTIVE = 0.95
+
+
+def _profile():
+    rng = np.random.default_rng(0)
+    dims = (16, 32, 16) if SMOKE else (48, 96, 48)
+    model = Sequential(
+        Linear(dims[0], dims[1], rng=rng), Tanh(), Linear(dims[1], dims[2], rng=rng)
+    )
+    kv = KVCacheSpec(num_layers=4, num_heads=8, head_dim=16)
+    return DecodeModelProfile(
+        "chat", model, kv, replicas=REPLICAS, ttft_slo_s=TTFT_SLO_S
+    )
+
+
+def _engine(observability=None, health=None):
+    config = EngineConfig(
+        max_batch_size=MAX_BATCH,
+        block_tokens=BLOCK_TOKENS,
+        kv_fraction=KV_FRACTION,
+        recovery=True,
+    )
+    return TokenServingEngine(
+        ExecutorPool(REPLICAS),
+        _profile(),
+        config,
+        health=health,
+        observability=observability,
+    )
+
+
+def _scenario():
+    return decode_scenario(
+        "chat",
+        rate=RATE,
+        duration=DURATION,
+        prompt_median=PROMPT_MEDIAN,
+        prompt_sigma=0.6,
+        decode_mean=DECODE_MEAN,
+        class_mix=CLASS_MIX,
+        prompt_max=PROMPT_MAX,
+        decode_max=DECODE_MAX,
+        seed=SEED_TRAFFIC,
+    )
+
+
+def _storm(makespan):
+    kills = FaultPlan.replica_kills(
+        [(0.25 * makespan, 0), (0.40 * makespan, 1)]
+    )
+    rates = rrns_fault_rates(FaultTolerantCore().codec, P_CHANNEL)
+    op_rate = 20.0 / max(rates["detected"], 1e-12) / makespan
+    burst = FaultPlan.from_rrns_rates(
+        rates,
+        op_rate_per_s=op_rate,
+        start=0.45 * makespan,
+        stop=0.75 * makespan,
+        seed=SEED_STORM,
+        kv_loss_share=0.15,
+    )
+    return kills.merge(burst)
+
+
+def _observability(makespan):
+    slo = SLOTracker(
+        SLOSpec("ttft", SLO_OBJECTIVE, default_windows(makespan))
+    )
+    return Observability(tracing=True, slo=slo)
+
+
+def _traced_run(scenario, plan, health, makespan, tracing=True):
+    obs = (
+        _observability(makespan)
+        if tracing
+        else Observability(tracing=False)
+    )
+    engine = _engine(observability=obs, health=health)
+    start = time.perf_counter()
+    telemetry = engine.run(scenario, seed=SEED_RUN, faults=plan)
+    elapsed = time.perf_counter() - start
+    return obs, engine, telemetry, elapsed
+
+
+def test_observability_storm():
+    scenario = _scenario()
+
+    # Fault-free pass just to size the storm and the burn windows.
+    base = _engine()
+    makespan = base.run(scenario, seed=SEED_RUN).makespan()
+    plan = _storm(makespan)
+    health = HealthPolicy(
+        suspect_after_s=makespan / 200.0, dead_after_s=makespan / 60.0
+    )
+
+    obs, engine, telemetry, traced_s = _traced_run(
+        scenario, plan, health, makespan
+    )
+    tracer = obs.tracer
+    assert telemetry.sessions, "storm run completed nothing to observe"
+
+    # Gate (a): gap-free span timelines enqueue -> retire, exact floats.
+    for s in telemetry.sessions:
+        gaps = tracer.gaps(
+            s.session_id, start=s.arrival_time, end=s.finish_time
+        )
+        assert not gaps, (
+            f"session {s.session_id} timeline has uncovered intervals: "
+            f"{gaps[:3]}"
+        )
+
+    # Gate (b): hardware attribution reconstructs every recorded step
+    # bit-for-bit and the rollup sums exactly to recorded busy time.
+    attribution = obs.profiler(engine.service.accelerator).attribute_engine(
+        engine.profile, telemetry
+    )
+    assert attribution["checked_spans"] == len(telemetry.steps)
+    assert attribution["max_abs_error_s"] == 0.0
+    assert attribution["attributed_s"] == attribution["total_busy_s"]
+    share = sum(r["share"] for r in attribution["components"])
+    assert abs(share - 1.0) < 1e-9
+
+    # Gate (c): the Prometheus text dump round-trips every sample exactly.
+    prom_text = obs.registry.prometheus_text()
+    assert parse_prometheus_text(prom_text) == obs.registry.samples()
+
+    # Gate (e): byte-identical exports on a fresh replay of the same storm.
+    obs2, _, telemetry2, _ = _traced_run(scenario, plan, health, makespan)
+    assert tracer.chrome_trace() == obs2.tracer.chrome_trace()
+    assert prom_text == obs2.registry.prometheus_text()
+    assert telemetry2.makespan() == telemetry.makespan()
+
+    # Tracing must observe, never perturb: the untraced run is identical.
+    _, _, untraced_tel, untraced_s = _traced_run(
+        scenario, plan, health, makespan, tracing=False
+    )
+    assert untraced_tel.makespan() == telemetry.makespan()
+    assert len(untraced_tel.sessions) == len(telemetry.sessions)
+
+    # The burn monitors saw every terminal event the telemetry recorded.
+    slo_events = sum(m.total for m in obs.slo.monitors.values())
+    terminal = (
+        len(telemetry.sessions)
+        + telemetry.sessions_failed
+        + telemetry.sessions_shed
+        + len(telemetry.rejected)
+    )
+    assert slo_events == terminal
+
+    summary = tracer.summary()
+    print("\nobservability (traced fault storm):")
+    print(
+        f"  sessions={len(telemetry.sessions)} steps={len(telemetry.steps)} "
+        f"spans={summary['spans']} instants={summary['instants']}"
+    )
+    print(
+        f"  attribution: {attribution['checked_spans']} spans, max_err="
+        f"{attribution['max_abs_error_s']:.1e}, busy="
+        f"{attribution['total_busy_s']:.3e}s "
+        f"(stall {attribution['stall_s']:.3e}s)"
+    )
+    for row in attribution["components"][:5]:
+        print(f"    {row['path']:28s} {row['share']:6.1%} ({row['spans']} spans)")
+    print(
+        f"  metrics: {len(obs.registry.samples())} samples round-trip exact; "
+        f"slo events={slo_events} alerts={len(obs.slo.alerts_fired)}"
+    )
+
+    if SMOKE:
+        # Wall-clock ratios are meaningless at smoke scale; the full
+        # tier owns gate (d).
+        return
+
+    # Gate (d): tracing overhead bounded.  Best-of-3 on each side — the
+    # minimum is the least noisy wall-clock estimator for a fixed
+    # deterministic workload.
+    traced_best = traced_s
+    untraced_best = untraced_s
+    for _ in range(2):
+        *_, t_s = _traced_run(scenario, plan, health, makespan)
+        traced_best = min(traced_best, t_s)
+        *_, u_s = _traced_run(scenario, plan, health, makespan, tracing=False)
+        untraced_best = min(untraced_best, u_s)
+    overhead = traced_best / untraced_best
+    print(
+        f"  overhead: traced {traced_best * 1e3:.1f} ms vs untraced "
+        f"{untraced_best * 1e3:.1f} ms -> {overhead:.3f}x "
+        f"(budget {OVERHEAD_BUDGET}x)"
+    )
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"tracing overhead {overhead:.3f}x exceeds {OVERHEAD_BUDGET}x"
+    )
+
+    payload = {
+        "config": {
+            "replicas": REPLICAS,
+            "max_batch_size": MAX_BATCH,
+            "offered_rate_rps": RATE,
+            "duration_s": DURATION,
+            "ttft_slo_s": TTFT_SLO_S,
+            "slo_objective": SLO_OBJECTIVE,
+            "storm_signature": plan.signature(),
+            "overhead_budget": OVERHEAD_BUDGET,
+        },
+        "trace": summary,
+        "sessions_completed": len(telemetry.sessions),
+        "gap_free_sessions": len(telemetry.sessions),
+        "attribution": {
+            "checked_spans": attribution["checked_spans"],
+            "max_abs_error_s": attribution["max_abs_error_s"],
+            "total_busy_s": attribution["total_busy_s"],
+            "stall_s": attribution["stall_s"],
+            "components": attribution["components"],
+        },
+        "metrics_samples": len(obs.registry.samples()),
+        "prometheus_round_trip_exact": True,
+        "replay_byte_identical": True,
+        "slo": obs.slo.summary(telemetry.makespan()),
+        "overhead_ratio": round(overhead, 4),
+    }
+    out_path = Path(__file__).resolve().parents[1] / "BENCH_observability.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -26,6 +26,7 @@ SMOKE_BENCHES = (
     "bench_continuous.py",
     "bench_prefix.py",
     "bench_resilience.py",
+    "bench_observability.py",
 )
 
 

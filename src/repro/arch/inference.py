@@ -22,14 +22,18 @@ from typing import Dict, List, Optional, Sequence
 from .accelerator import MirageAccelerator
 from .area import mirage_footprint_area
 from .dataflow import MIRAGE_DATAFLOWS, schedule_opt2
-from .latency import mirage_latency_fn
+from .latency import mirage_gemm_components, mirage_latency_fn
 from .workloads import GemmShape, LayerShape, TrainingGemm, training_gemms, workload
 
 __all__ = [
     "attention_token_latency",
+    "attention_token_components",
     "chunked_prefill_latency",
+    "chunked_prefill_components",
     "decode_step_latency",
+    "decode_step_components",
     "inference_latency",
+    "inference_latency_components",
     "inference_metrics",
     "microbatch_latency",
     "per_request_latency",
@@ -64,6 +68,45 @@ def inference_latency(
     for tg in gemms:
         total += min(fn(tg, df) for df in MIRAGE_DATAFLOWS)
     return total
+
+
+def inference_latency_components(
+    layers: Sequence[LayerShape],
+    accelerator: Optional[MirageAccelerator] = None,
+) -> Dict[str, float]:
+    """:func:`inference_latency`, split into reprogram vs stream time.
+
+    ``total_s`` is **bit-identical** to :func:`inference_latency`: the
+    same per-GEMM min over dataflows, accumulated in the same order with
+    the same arithmetic (:func:`mirage_gemm_components` reproduces
+    :func:`mirage_gemm_latency` exactly; dataflow ties break the same
+    way, and tied totals are equal anyway).  ``reprogram_s`` sums each
+    chosen mapping's exact phase-shifter settle time; ``stream_s`` is
+    the residual ``total_s - reprogram_s`` — a reporting split, never
+    re-added when asserting exactness.
+    """
+    accelerator = accelerator or MirageAccelerator()
+    config = accelerator.config
+    gemms = _forward_gemms(layers)
+    if not gemms:
+        raise ValueError(
+            "layers contain no forward GEMMs to price (empty layer list?)"
+        )
+    total = 0.0
+    reprogram = 0.0
+    for tg in gemms:
+        best = None
+        for df in MIRAGE_DATAFLOWS:
+            cand = mirage_gemm_components(tg.gemm, config, df)
+            if best is None or cand["total_s"] < best["total_s"]:
+                best = cand
+        total += best["total_s"]
+        reprogram += best["reprogram_s"]
+    return {
+        "total_s": total,
+        "reprogram_s": reprogram,
+        "stream_s": total - reprogram,
+    }
 
 
 def inference_metrics(
@@ -160,11 +203,17 @@ def attention_token_latency(
     descriptor via ``count = num_layers * num_heads``, whose tiles the
     latency model spreads across the ``num_arrays`` RNS-MMVMUs.
     """
+    return inference_latency(
+        _decode_attention_layers(kv, context_len), accelerator
+    )
+
+
+def _decode_attention_layers(kv, context_len: int) -> List[LayerShape]:
     _check_kv_spec(kv)
     if context_len < 1:
         raise ValueError(f"context_len must be >= 1, got {context_len}")
     count = kv.num_layers * kv.num_heads
-    layers = [
+    return [
         LayerShape(
             "decode.scores",
             GemmShape(1, kv.head_dim, context_len, count=count),
@@ -176,7 +225,21 @@ def attention_token_latency(
             "attention",
         ),
     ]
-    return inference_latency(layers, accelerator)
+
+
+def attention_token_components(
+    kv,
+    context_len: int,
+    accelerator: Optional[MirageAccelerator] = None,
+) -> Dict[str, float]:
+    """:func:`attention_token_latency` split into reprogram vs stream.
+
+    ``total_s`` is bit-identical to :func:`attention_token_latency`
+    (same layer shapes through :func:`inference_latency_components`).
+    """
+    return inference_latency_components(
+        _decode_attention_layers(kv, context_len), accelerator
+    )
 
 
 def decode_step_latency(
@@ -223,6 +286,46 @@ def decode_step_latency(
     }
 
 
+def decode_step_components(
+    layers: Sequence[LayerShape],
+    context_lens: Sequence[int],
+    kv=None,
+    accelerator: Optional[MirageAccelerator] = None,
+) -> Dict[str, float]:
+    """:func:`decode_step_latency` with reprogram/stream attribution.
+
+    ``step_latency_s`` is bit-identical to the plain pricing: the token
+    GEMM total and the order-preserving memoised attention sum reproduce
+    the same floats, and the final add matches.  The ``*_reprogram_s``
+    fields attribute each part's phase-shifter settle time (streams are
+    the residuals; see :func:`inference_latency_components`).
+    """
+    batch = len(context_lens)
+    if batch < 1:
+        raise ValueError("context_lens must name at least one session")
+    accelerator = accelerator or MirageAccelerator()
+    token = inference_latency_components(layers, accelerator)
+    attention_s = 0.0
+    attention_reprogram_s = 0.0
+    if kv is not None:
+        per_len: Dict[int, Dict[str, float]] = {}
+        for length in context_lens:
+            if length not in per_len:
+                per_len[length] = attention_token_components(
+                    kv, length, accelerator
+                )
+            attention_s += per_len[length]["total_s"]
+            attention_reprogram_s += per_len[length]["reprogram_s"]
+    return {
+        "batch": float(batch),
+        "token_parallel_s": token["total_s"],
+        "token_reprogram_s": token["reprogram_s"],
+        "attention_s": attention_s,
+        "attention_reprogram_s": attention_reprogram_s,
+        "step_latency_s": token["total_s"] + attention_s,
+    }
+
+
 def chunked_prefill_latency(
     layers: Sequence[LayerShape],
     chunk_len: int,
@@ -258,23 +361,76 @@ def chunked_prefill_latency(
     accelerator = accelerator or MirageAccelerator()
     total = microbatch_latency(layers, accelerator)
     if kv is not None:
-        _check_kv_spec(kv)
-        count = kv.num_layers * kv.num_heads
-        span = context_len + chunk_len
-        attn = [
-            LayerShape(
-                "prefill.scores",
-                GemmShape(chunk_len, kv.head_dim, span, count=count),
-                "attention",
-            ),
-            LayerShape(
-                "prefill.context",
-                GemmShape(chunk_len, span, kv.head_dim, count=count),
-                "attention",
-            ),
-        ]
+        attn = _prefill_attention_layers(kv, chunk_len, context_len)
         total += inference_latency(attn, accelerator)
     return total
+
+
+def _prefill_attention_layers(
+    kv, chunk_len: int, context_len: int
+) -> List[LayerShape]:
+    _check_kv_spec(kv)
+    count = kv.num_layers * kv.num_heads
+    span = context_len + chunk_len
+    return [
+        LayerShape(
+            "prefill.scores",
+            GemmShape(chunk_len, kv.head_dim, span, count=count),
+            "attention",
+        ),
+        LayerShape(
+            "prefill.context",
+            GemmShape(chunk_len, span, kv.head_dim, count=count),
+            "attention",
+        ),
+    ]
+
+
+def chunked_prefill_components(
+    layers: Sequence[LayerShape],
+    chunk_len: int,
+    context_len: int = 0,
+    kv=None,
+    accelerator: Optional[MirageAccelerator] = None,
+) -> Dict[str, float]:
+    """:func:`chunked_prefill_latency` with reprogram/stream attribution.
+
+    ``total_s`` is bit-identical to the plain pricing (same shapes, same
+    single add of the attention term); a ``chunk_len`` of zero returns
+    all-zero components, matching the defined-zero fully-cached slice.
+    """
+    if chunk_len < 0:
+        raise ValueError(f"chunk_len must be >= 0, got {chunk_len}")
+    if context_len < 0:
+        raise ValueError(f"context_len must be >= 0, got {context_len}")
+    zero = {
+        "total_s": 0.0,
+        "gemm_s": 0.0,
+        "gemm_reprogram_s": 0.0,
+        "attention_s": 0.0,
+        "attention_reprogram_s": 0.0,
+    }
+    if chunk_len == 0:
+        return zero
+    accelerator = accelerator or MirageAccelerator()
+    gemm = inference_latency_components(layers, accelerator)
+    total = gemm["total_s"]
+    attention_s = 0.0
+    attention_reprogram_s = 0.0
+    if kv is not None:
+        attn = inference_latency_components(
+            _prefill_attention_layers(kv, chunk_len, context_len), accelerator
+        )
+        attention_s = attn["total_s"]
+        attention_reprogram_s = attn["reprogram_s"]
+        total += attention_s
+    return {
+        "total_s": total,
+        "gemm_s": gemm["total_s"],
+        "gemm_reprogram_s": gemm["reprogram_s"],
+        "attention_s": attention_s,
+        "attention_reprogram_s": attention_reprogram_s,
+    }
 
 
 def prefill_latency(

@@ -99,6 +99,43 @@ storm (two replicas killed mid-ramp plus an RRNS transient burst) must
 keep goodput within 0.9x of fault-free, interactive TTFT SLO
 attainment >= 0.95, decode outputs bit-exact versus the fault-free
 run, and KV refcounts balanced at drain.
+
+Observability plane (:mod:`repro.serve.observability`)
+------------------------------------------------------
+One :class:`Observability` instance passed to either execution model
+wires the whole plane through pool, batcher, monitor and telemetry::
+
+    Observability ──┬─ Tracer           span-based tracing on the
+                    │     simulated clock: per-session/request phase
+                    │     timelines (enqueue → queue_wait → admit →
+                    │     prefill/decode → preempt/stall/recover →
+                    │     retire), pool dispatch/reprogram spans,
+                    │     crash/replace + health-transition instants,
+                    │     autoscaler decisions with windowed-p99
+                    │     evidence; queryable in memory (gap-free
+                    │     timeline checks with exact float boundaries)
+                    │     and exportable as Chrome trace-event JSON
+                    │     (Perfetto-loadable)
+                    ├─ MetricsRegistry  typed counters/gauges/histograms
+                    │     with label sets; Telemetry/EngineTelemetry
+                    │     record through it; lossless Prometheus text
+                    │     export (parse(render()) == samples() exactly)
+                    │     and streaming (t, value) gauge series
+                    ├─ HardwareAttributionProfiler  splits every
+                    │     recorded busy interval into the analytic
+                    │     model's reprogram/stream/attention components
+                    │     (flame-graph rollups); the serving
+                    │     cross-checks live inside it as bit-exactness
+                    │     assertions
+                    └─ SLOTracker       multi-window error-budget
+                          burn-rate monitors per class/tenant, surfaced
+                          by (not acted on by) the autoscaler
+
+``benchmarks/bench_observability.py`` gates the plane on a replayed
+fault storm: gap-free span timelines for every completed session,
+attribution equal to recorded busy time bit-for-bit, exact Prometheus
+round-trip, byte-identical repeat-run exports, and bounded tracing
+overhead.
 """
 
 from .batcher import BatchPolicy, MicroBatcher
@@ -124,6 +161,18 @@ from .faults import (
     FleetMonitor,
     HealthPolicy,
     WorkerHealth,
+)
+from .observability import (
+    BurnRateMonitor,
+    BurnWindow,
+    HardwareAttributionProfiler,
+    MetricsRegistry,
+    Observability,
+    SLOSpec,
+    SLOTracker,
+    Tracer,
+    default_windows,
+    parse_prometheus_text,
 )
 from .pool import ExecutorPool, PoolWorker, ROUTING_POLICIES
 from .request import AdmissionQueue, InferenceRequest, Priority, RequestStatus
@@ -160,6 +209,8 @@ __all__ = [
     "Autoscaler",
     "AutoscalerPolicy",
     "BatchPolicy",
+    "BurnRateMonitor",
+    "BurnWindow",
     "DecodeModelProfile",
     "DecodeServiceModel",
     "DecodeSession",
@@ -171,11 +222,14 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "FleetMonitor",
+    "HardwareAttributionProfiler",
     "HealthPolicy",
     "InferenceRequest",
     "KVBlockManager",
+    "MetricsRegistry",
     "MicroBatcher",
     "ModelProfile",
+    "Observability",
     "PoolWorker",
     "Priority",
     "RadixPrefixIndex",
@@ -183,17 +237,21 @@ __all__ = [
     "RetryPolicy",
     "ROUTING_POLICIES",
     "SCENARIO_NAMES",
+    "SLOSpec",
+    "SLOTracker",
     "Scenario",
     "ServiceModel",
     "ServingRuntime",
     "SimulatedClock",
     "Telemetry",
     "TokenServingEngine",
+    "Tracer",
     "WorkerHealth",
     "build_sessions",
     "bursty_scenario",
     "chain_block_hashes",
     "decode_scenario",
+    "default_windows",
     "diurnal_scenario",
     "fewshot_pool_scenario",
     "geometric_lengths",
@@ -204,6 +262,7 @@ __all__ = [
     "multi_tenant_scenario",
     "multiturn_scenario",
     "next_token_input",
+    "parse_prometheus_text",
     "percentile",
     "poisson_scenario",
     "priority_scenario",

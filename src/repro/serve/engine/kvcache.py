@@ -64,6 +64,7 @@ class KVBlockManager:
         block_tokens: int,
         bytes_per_token: Optional[int] = None,
         prefix_cache: bool = True,
+        registry=None,
     ):
         if num_blocks < 1:
             raise ValueError(f"num_blocks must be >= 1, got {num_blocks}")
@@ -90,7 +91,30 @@ class KVBlockManager:
         self.reserves = 0
         self.releases = 0
         self.cow_copies = 0
+        self.prefix_evictions = 0  # cached prefix blocks reclaimed by LRU
         self._tick = 0  # LRU clock (monotonic operation counter)
+        # Optional observability registry: mirror the lifecycle counters
+        # as Prometheus-exportable metrics (children cached, so the hot
+        # path stays one attribute bump).
+        if registry is not None:
+            self._m_reserves = registry.counter(
+                "kv_reserves_total", "KV block-table reservations"
+            ).labels()
+            self._m_releases = registry.counter(
+                "kv_releases_total", "KV block-table releases"
+            ).labels()
+            self._m_cow = registry.counter(
+                "kv_cow_copies_total", "Copy-on-write block copies"
+            ).labels()
+            self._m_evictions = registry.counter(
+                "kv_prefix_evictions_total",
+                "Cached prefix blocks evicted by LRU pressure",
+            ).labels()
+        else:
+            self._m_reserves = None
+            self._m_releases = None
+            self._m_cow = None
+            self._m_evictions = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -101,6 +125,7 @@ class KVBlockManager:
         block_tokens: int = 16,
         kv_fraction: float = 0.5,
         prefix_cache: bool = True,
+        registry=None,
     ) -> "KVBlockManager":
         """Size the block pool from the analytic memory model.
 
@@ -129,6 +154,7 @@ class KVBlockManager:
             block_tokens,
             bytes_per_token=kv.bytes_per_token,
             prefix_cache=prefix_cache,
+            registry=registry,
         )
 
     # ------------------------------------------------------------------
@@ -225,7 +251,12 @@ class KVBlockManager:
         if self._free:
             return self._free.pop()
         if self.prefix is not None:
-            return self.prefix.evict_lru()
+            block_id = self.prefix.evict_lru()
+            if block_id is not None:
+                self.prefix_evictions += 1
+                if self._m_evictions is not None:
+                    self._m_evictions.inc()
+            return block_id
         return None
 
     def _claim_fresh(self, count: int) -> Optional[List[int]]:
@@ -328,6 +359,10 @@ class KVBlockManager:
         self.cow_copies += cow
         self.peak_blocks = max(self.peak_blocks, self.used_blocks)
         self.reserves += 1
+        if self._m_reserves is not None:
+            self._m_reserves.inc()
+            if cow:
+                self._m_cow.inc(cow)
         return True
 
     def publish(self, session_id: int, prompt_tokens: Sequence[int]) -> int:
@@ -404,6 +439,8 @@ class KVBlockManager:
         for block_id in reversed(table):  # leaf-most first
             self._decref(block_id)
         self.releases += 1
+        if self._m_releases is not None:
+            self._m_releases.inc()
         return len(table)
 
     def discard(self, session_id: int) -> int:
@@ -451,6 +488,8 @@ class KVBlockManager:
                 self._free.append(block_id)
                 destroyed += 1
         self.releases += 1
+        if self._m_releases is not None:
+            self._m_releases.inc()
         return destroyed
 
     # ------------------------------------------------------------------
@@ -491,6 +530,7 @@ class KVBlockManager:
             "reserves": self.reserves,
             "releases": self.releases,
             "cow_copies": self.cow_copies,
+            "prefix_evictions": self.prefix_evictions,
         }
         if self.prefix is not None:
             out["prefix"] = self.prefix.stats()

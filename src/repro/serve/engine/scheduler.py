@@ -248,11 +248,16 @@ class TokenServingEngine:
         accelerator: Optional[MirageAccelerator] = None,
         memory: Optional[MemorySystemModel] = None,
         health: Optional[HealthPolicy] = None,
+        observability=None,
     ):
         self.pool = pool
         self.profile = profile
         self.config = config or EngineConfig()
         self.health = health or HealthPolicy()
+        self.obs = observability
+        registry = observability.registry if observability is not None else None
+        self.tracer = observability.tracer if observability is not None else None
+        self._slo = observability.slo if observability is not None else None
         self.service = DecodeServiceModel(accelerator)
         self.service.register_decode(profile)
         memory = memory or MemorySystemModel(self.service.accelerator.config)
@@ -262,9 +267,12 @@ class TokenServingEngine:
             block_tokens=self.config.block_tokens,
             kv_fraction=self.config.kv_fraction,
             prefix_cache=self.config.prefix_caching and self.config.continuous,
+            registry=registry,
         )
         self.clock = SimulatedClock()
-        self.telemetry = EngineTelemetry()
+        self.telemetry = EngineTelemetry(registry=registry)
+        if self.tracer is not None:
+            pool.set_tracer(self.tracer)
         pool.place(
             profile.name, profile.model, replicas=profile.replicas, prewarm=True
         )
@@ -280,6 +288,11 @@ class TokenServingEngine:
         self._home_load: Dict[int, int] = {}
         self._poisoned: set = set()
         self._recovering: set = set()
+        # Tracing bookkeeping: when a session started waiting (for the
+        # queue_wait span closed at admission) and the loop's current
+        # simulated time (for methods that are not passed ``now``).
+        self._wait_since: Dict[int, float] = {}
+        self._now: float = 0.0
 
     # ------------------------------------------------------------------
     # Waiting-queue helpers (per-class FIFO, preempted resume at head)
@@ -316,6 +329,11 @@ class TokenServingEngine:
         session.prefill_target = 0
         waiting.setdefault(session.priority, deque()).appendleft(session)
         self.telemetry.record_preemption(session)
+        if self.tracer is not None:
+            self._wait_since[session.session_id] = self._now
+            self.tracer.instant(
+                "session", session.session_id, "preempt", self._now
+            )
 
     # ------------------------------------------------------------------
     # Session homes (KV locality under faults)
@@ -427,6 +445,14 @@ class TokenServingEngine:
                 self._poisoned.discard(victim.session_id)
                 victim.status = RequestStatus.FAILED
                 self.telemetry.record_session_failure(victim)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "session", victim.session_id, "fail", now
+                    )
+                if self._slo is not None:
+                    self._slo.observe(
+                        f"class{victim.priority}", now, good=False
+                    )
         if self.config.recovery:
             new_wid = self.pool.replace_worker(
                 wid, now, lambda name: self.service.prewarm_latency(name)
@@ -460,6 +486,11 @@ class TokenServingEngine:
         waiting.setdefault(session.priority, deque()).appendleft(session)
         self._recovering.add(session.session_id)
         self.telemetry.record_recovery(session, 0)
+        if self.tracer is not None:
+            self._wait_since[session.session_id] = self._now
+            self.tracer.instant(
+                "session", session.session_id, "recover", self._now
+            )
 
     def _shed_waiting(
         self, waiting: Dict[int, Deque[DecodeSession]]
@@ -475,6 +506,15 @@ class TokenServingEngine:
             victim = waiting[priority].pop()
             victim.status = RequestStatus.EVICTED
             self.telemetry.record_shed(victim)
+            if self.tracer is not None:
+                self._wait_since.pop(victim.session_id, None)
+                self.tracer.instant(
+                    "session", victim.session_id, "shed", self._now
+                )
+            if self._slo is not None:
+                self._slo.observe(
+                    f"class{victim.priority}", self._now, good=False
+                )
             depth -= 1
 
     def _next_fault_horizon(
@@ -496,6 +536,18 @@ class TokenServingEngine:
         future = [c for c in candidates if c > now]
         return min(future) if future else None
 
+    def _trace_stall(
+        self, running: List[DecodeSession], t0: float, t1: float
+    ) -> None:
+        """Cover a dead interval on every in-flight session's timeline."""
+        if self.tracer is None or not t1 > t0:
+            return
+        for s in running:
+            if not s.finished:
+                self.tracer.span(
+                    "session", s.session_id, "stall", t0, t1, category="stall"
+                )
+
     def _fail_stranded(
         self,
         waiting: Dict[int, Deque[DecodeSession]],
@@ -511,11 +563,28 @@ class TokenServingEngine:
             self._poisoned.discard(session.session_id)
             session.status = RequestStatus.FAILED
             self.telemetry.record_session_failure(session)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "session", session.session_id, "fail", self._now
+                )
+            if self._slo is not None:
+                self._slo.observe(
+                    f"class{session.priority}", self._now, good=False
+                )
         for q in waiting.values():
             while q:
                 session = q.popleft()
                 session.status = RequestStatus.FAILED
                 self.telemetry.record_session_failure(session)
+                if self.tracer is not None:
+                    self._wait_since.pop(session.session_id, None)
+                    self.tracer.instant(
+                        "session", session.session_id, "fail", self._now
+                    )
+                if self._slo is not None:
+                    self._slo.observe(
+                        f"class{session.priority}", self._now, good=False
+                    )
 
     # ------------------------------------------------------------------
     # Admission (prefix attach + prefill scheduling)
@@ -720,6 +789,7 @@ class TokenServingEngine:
                 )
             self._injector = FaultInjector(faults)
             self._monitor = FleetMonitor(self.pool, self.health)
+            self._monitor.tracer = self.tracer
         sessions = build_sessions(self.profile, scenario, seed)
         waiting: Dict[int, Deque[DecodeSession]] = {}
         running: List[DecodeSession] = []
@@ -748,15 +818,46 @@ class TokenServingEngine:
                 if self.kv.blocks_for(arrival.max_context_len) > self.kv.num_blocks:
                     arrival.status = RequestStatus.REJECTED
                     self.telemetry.record_rejection(arrival)
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "session", arrival.session_id, "reject", t
+                        )
+                    if self._slo is not None:
+                        self._slo.observe(
+                            f"class{arrival.priority}", t, good=False
+                        )
                     continue
                 waiting.setdefault(arrival.priority, deque()).append(arrival)
+                if self.tracer is not None:
+                    self._wait_since[arrival.session_id] = arrival.arrival_time
+                    self.tracer.instant(
+                        "session",
+                        arrival.session_id,
+                        "enqueue",
+                        arrival.arrival_time,
+                    )
+            self._now = t
 
             if self._injector is not None:
                 self._process_faults(t, waiting, running)
                 self._shed_waiting(waiting)
 
             if cfg.continuous or not running:
-                self._admit(waiting, running, t)
+                admitted = self._admit(waiting, running, t)
+                if self.tracer is not None and admitted:
+                    for s in admitted:
+                        t0 = self._wait_since.pop(
+                            s.session_id, s.arrival_time
+                        )
+                        self.tracer.span(
+                            "session",
+                            s.session_id,
+                            "queue_wait",
+                            t0,
+                            t,
+                            category="queue",
+                        )
+                        self.tracer.instant("session", s.session_id, "admit", t)
 
             # Plan this step's prefill chunks (applied only after the
             # growth pass settles preemption): each session mid-prefill
@@ -813,6 +914,7 @@ class TokenServingEngine:
                 if horizon is None:
                     self._fail_stranded(waiting, running)
                     break
+                self._trace_stall(running, t, horizon)
                 t = horizon
                 continue
 
@@ -859,6 +961,7 @@ class TokenServingEngine:
             for c, q in chunks:
                 step_s += self.service.chunked_prefill(name, q, c)
 
+            t_route = t
             worker = self.pool.route(name, t)
             if worker is None:
                 t = max(t, self.pool.next_free_time(name))
@@ -872,8 +975,23 @@ class TokenServingEngine:
                 if horizon is None:
                     self._fail_stranded(waiting, running)
                     break
+                self._trace_stall(running, t_route, horizon)
                 t = horizon
                 continue
+            if self.tracer is not None and t > t_route:
+                # Every replica was busy: the whole step queued behind
+                # the pool until a worker freed up.
+                for s in running:
+                    if not s.finished:
+                        self.tracer.span(
+                            "session",
+                            s.session_id,
+                            "dispatch_wait",
+                            t_route,
+                            t,
+                            category="queue",
+                        )
+            self._now = t
             # A degraded (slow) worker stretches the wall-clock booking
             # without changing the analytic step cost: the nominal
             # step_s keeps the cross-check exact, the stall is reported
@@ -891,6 +1009,29 @@ class TokenServingEngine:
 
             t_end = t + booked_s
             self.clock.advance_to(t_end)
+            if self.tracer is not None:
+                # Phase spans, emitted against pre-commit state so a
+                # session finishing inside this step still gets its
+                # final span.  Every non-finished running session is
+                # stalled, prefilling, or decoding — the three cover
+                # [t, t_end] with no gap.
+                plan_ids = {s.session_id for s, _, _ in plan}
+                decoder_ids = {s.session_id for s in decoders}
+                for s in running:
+                    if s.finished:
+                        continue
+                    sid = s.session_id
+                    if sid in stalled:
+                        phase = "stall"
+                    elif sid in plan_ids:
+                        phase = "prefill"
+                    elif sid in decoder_ids:
+                        phase = "decode"
+                    else:
+                        phase = "stall"
+                    self.tracer.span(
+                        "session", sid, phase, t, t_end, category=phase
+                    )
             for i, session in enumerate(decoders):
                 if session.finished:
                     continue  # static-mode padding slot
@@ -908,10 +1049,25 @@ class TokenServingEngine:
                     session.x = next_token_input(row)
                 if session.first_token_time is None:
                     session.first_token_time = t_end
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "session", session.session_id, "first_token", t_end
+                        )
                 if session.finished:
                     session.status = RequestStatus.COMPLETED
                     session.finish_time = t_end
                     self.telemetry.record_session(session)
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "session", session.session_id, "retire", t_end
+                        )
+                    if self._slo is not None:
+                        slo_s = self.profile.ttft_slo_s
+                        self._slo.observe(
+                            f"class{session.priority}",
+                            t_end,
+                            good=slo_s is None or session.ttft <= slo_s,
+                        )
             self._poisoned -= retried
 
             self.telemetry.record_step(

@@ -383,6 +383,9 @@ class FleetMonitor:
         self.pool = pool
         self.policy = policy or HealthPolicy()
         self.transitions: List[Dict[str, float]] = []
+        # Observability hook (set by the engine/runtime when tracing):
+        # each transition also lands as an instant on the worker track.
+        self.tracer = None
 
     def next_transition_time(self) -> Optional[float]:
         """Earliest future suspect/dead declaration among failed workers."""
@@ -432,4 +435,12 @@ class FleetMonitor:
         }
         worker.health = to
         self.transitions.append(record)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "control",
+                worker.worker_id,
+                f"health:{to}",
+                now,
+                args={"from": record["from"], "silent_for_s": record["silent_for_s"]},
+            )
         return record

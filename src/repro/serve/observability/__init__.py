@@ -1,0 +1,106 @@
+"""Unified observability plane for the serving stack.
+
+Four cooperating pieces, all on the simulated clock:
+
+* :mod:`~repro.serve.observability.trace` — a span-based
+  :class:`Tracer`: event-sourced per-session/request timelines
+  (enqueue → queue-wait → admit → prefill/decode/stall → retire) plus
+  pool dispatch/reprogram/crash spans, autoscaler decision instants and
+  fleet-health transitions, queryable in memory and exportable as
+  Chrome trace-event JSON (Perfetto-loadable);
+* :mod:`~repro.serve.observability.metrics` — a typed
+  :class:`MetricsRegistry` (counters/gauges/histograms with label sets)
+  that :class:`~repro.serve.telemetry.Telemetry` and
+  :class:`~repro.serve.telemetry.EngineTelemetry` record through, with
+  a lossless Prometheus text exporter and streaming ``(t, value)``
+  gauge series;
+* :mod:`~repro.serve.observability.profiler` — the
+  :class:`HardwareAttributionProfiler`, which splits every recorded
+  busy interval into the analytic model's reprogram/stream/attention
+  components and asserts the reconstruction is bit-exact (the serving
+  cross-checks, absorbed as profiler assertions);
+* :mod:`~repro.serve.observability.slo` — multi-window
+  :class:`BurnRateMonitor` error-budget tracking per class/tenant,
+  surfaced to (not yet acted on by) the autoscaler.
+
+:class:`Observability` bundles them: pass one instance to
+:class:`~repro.serve.engine.TokenServingEngine` or
+:class:`~repro.serve.runtime.ServingRuntime` and the whole plane wires
+itself through the pool, batcher, monitor and telemetry.  Construction
+is cheap and recording is tuple appends + counter bumps, bounded by the
+``bench_observability`` overhead gate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+from .profiler import HardwareAttributionProfiler
+from .slo import (
+    BurnRateMonitor,
+    BurnWindow,
+    SLOSpec,
+    SLOTracker,
+    default_windows,
+)
+from .trace import Instant, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "Instant",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "parse_prometheus_text",
+    "HardwareAttributionProfiler",
+    "SLOSpec",
+    "SLOTracker",
+    "BurnRateMonitor",
+    "BurnWindow",
+    "default_windows",
+]
+
+
+class Observability:
+    """One deployment's observability plane: tracer + registry + SLOs.
+
+    ``tracing=False`` keeps the registry (metrics are always on — they
+    are how telemetry records) but skips span emission entirely, the
+    baseline configuration the overhead gate compares against.
+    """
+
+    def __init__(
+        self,
+        tracing: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        slo: Optional[SLOTracker] = None,
+    ):
+        self.tracer: Optional[Tracer] = Tracer() if tracing else None
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.slo = slo
+
+    def profiler(
+        self, accelerator=None, strict: bool = True
+    ) -> HardwareAttributionProfiler:
+        return HardwareAttributionProfiler(accelerator, strict=strict)
+
+    def summary(self, now: Optional[float] = None) -> dict:
+        out = {
+            "metrics": len(self.registry.metrics()),
+            "samples": len(self.registry.samples()),
+        }
+        if self.tracer is not None:
+            out["trace"] = self.tracer.summary()
+        if self.slo is not None:
+            out["slo"] = self.slo.summary(now)
+        return out

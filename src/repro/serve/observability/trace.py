@@ -1,0 +1,257 @@
+"""Span-based tracer on the simulated clock.
+
+Every request/session in the serving stack gets an event-sourced
+timeline: ``enqueue -> queue_wait -> admit -> prefill/decode steps ->
+preempt/stall/recover -> retire``.  The pool emits dispatch and
+weight-reprogram spans per worker, the autoscaler emits decision
+instants with their windowed-p99 evidence, and the ``FleetMonitor``
+emits health-transition instants.  Two consumers:
+
+* a **queryable in-memory index** — :meth:`Tracer.spans` /
+  :meth:`Tracer.instants` filter by track/id/name/category, and
+  :meth:`Tracer.session_timeline` + :meth:`Tracer.gap_free` verify that
+  a session's phase spans tile its lifetime with **exact float
+  boundaries** (valid because every boundary is the same float the
+  engine propagated — no arithmetic re-derivation happens here);
+* a **Chrome trace-event JSON export** (:meth:`Tracer.chrome_trace`)
+  loadable in Perfetto / ``chrome://tracing``: ``ph:"X"`` duration
+  events with microsecond timestamps, one pid per track kind and one
+  tid per session/worker, plus instant (``ph:"i"``) markers.
+
+Recording is deliberately dumb — a tuple append per span — so tracing
+stays inside the benchmark's wall-clock overhead budget; ``Span``
+objects materialise only at query/export time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Instant", "Tracer", "TRACKS"]
+
+# Track kind -> Chrome trace pid.  One "process" per subsystem keeps
+# Perfetto's timeline grouped: sessions (token engine), requests
+# (request-level runtime), workers (pool), control (autoscaler,
+# monitor, batcher).
+TRACKS = {"session": 1, "request": 2, "worker": 3, "control": 4}
+
+
+@dataclass(frozen=True)
+class Span:
+    """A closed interval ``[t0, t1]`` on one track, in simulated seconds."""
+
+    track: str
+    track_id: int
+    name: str
+    t0: float
+    t1: float
+    category: str = ""
+    args: Optional[Dict[str, Any]] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration marker at ``t`` on one track."""
+
+    track: str
+    track_id: int
+    name: str
+    t: float
+    args: Optional[Dict[str, Any]] = None
+
+
+class Tracer:
+    """Append-only span/instant store with query + Chrome export."""
+
+    __slots__ = ("_spans", "_instants")
+
+    def __init__(self):
+        # (track, track_id, name, t0, t1, category, args)
+        self._spans: List[Tuple[str, int, str, float, float, str, Any]] = []
+        # (track, track_id, name, t, args)
+        self._instants: List[Tuple[str, int, str, float, Any]] = []
+
+    # Recording (hot path) ----------------------------------------------
+    def span(
+        self,
+        track: str,
+        track_id: int,
+        name: str,
+        t0: float,
+        t1: float,
+        category: str = "",
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._spans.append((track, track_id, name, t0, t1, category, args))
+
+    def instant(
+        self,
+        track: str,
+        track_id: int,
+        name: str,
+        t: float,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._instants.append((track, track_id, name, t, args))
+
+    def __len__(self) -> int:
+        return len(self._spans) + len(self._instants)
+
+    # Query index -------------------------------------------------------
+    def spans(
+        self,
+        track: Optional[str] = None,
+        track_id: Optional[int] = None,
+        name: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> List[Span]:
+        out = []
+        for tr, tid, nm, t0, t1, cat, args in self._spans:
+            if track is not None and tr != track:
+                continue
+            if track_id is not None and tid != track_id:
+                continue
+            if name is not None and nm != name:
+                continue
+            if category is not None and cat != category:
+                continue
+            out.append(Span(tr, tid, nm, t0, t1, cat, args))
+        return out
+
+    def instants(
+        self,
+        track: Optional[str] = None,
+        track_id: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> List[Instant]:
+        out = []
+        for tr, tid, nm, t, args in self._instants:
+            if track is not None and tr != track:
+                continue
+            if track_id is not None and tid != track_id:
+                continue
+            if name is not None and nm != name:
+                continue
+            out.append(Instant(tr, tid, nm, t, args))
+        return out
+
+    def track_ids(self, track: str) -> List[int]:
+        ids = {tid for tr, tid, *_ in self._spans if tr == track}
+        ids.update(tid for tr, tid, *_ in self._instants if tr == track)
+        return sorted(ids)
+
+    def session_timeline(self, session_id: int, track: str = "session") -> List[Span]:
+        """All phase spans of one session, ordered by start time.
+
+        Emission order is already time-ordered within a track id (the
+        engine emits as the simulated clock advances); the sort is a
+        stable belt-and-braces so the gap check never depends on it.
+        """
+        spans = self.spans(track=track, track_id=session_id)
+        spans.sort(key=lambda s: (s.t0, s.t1))
+        return spans
+
+    def gaps(
+        self,
+        session_id: int,
+        track: str = "session",
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """Uncovered intervals of ``[start, end]`` under exact equality.
+
+        Adjacent spans must satisfy ``next.t0 == prev.t1`` *bitwise*:
+        every boundary is a float the emitter forwarded unmodified, so
+        tolerance would only hide real bookkeeping bugs.
+        """
+        timeline = self.session_timeline(session_id, track=track)
+        if not timeline:
+            if start is not None and end is not None and end > start:
+                return [(start, end)]
+            return []
+        out: List[Tuple[float, float]] = []
+        if start is not None and timeline[0].t0 != start:
+            out.append((start, timeline[0].t0))
+        cursor = timeline[0].t1
+        for span in timeline[1:]:
+            if span.t0 != cursor:
+                out.append((cursor, span.t0))
+            cursor = max(cursor, span.t1)
+        if end is not None and cursor != end:
+            out.append((cursor, end))
+        return out
+
+    def gap_free(
+        self,
+        session_id: int,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        track: str = "session",
+    ) -> bool:
+        return not self.gaps(session_id, track=track, start=start, end=end)
+
+    # Chrome trace-event export ----------------------------------------
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """Trace-event dicts (Perfetto-loadable), timestamps in us."""
+        events: List[Dict[str, Any]] = []
+        for track, pid in sorted(TRACKS.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "name": "process_name",
+                    "args": {"name": track},
+                }
+            )
+        for tr, tid, nm, t0, t1, cat, args in self._spans:
+            event = {
+                "ph": "X",
+                "pid": TRACKS.get(tr, 0),
+                "tid": tid,
+                "name": nm,
+                "cat": cat or tr,
+                "ts": t0 * 1e6,
+                "dur": (t1 - t0) * 1e6,
+            }
+            if args:
+                event["args"] = args
+            events.append(event)
+        for tr, tid, nm, t, args in self._instants:
+            event = {
+                "ph": "i",
+                "pid": TRACKS.get(tr, 0),
+                "tid": tid,
+                "name": nm,
+                "cat": tr,
+                "ts": t * 1e6,
+                "s": "t",
+            }
+            if args:
+                event["args"] = args
+            events.append(event)
+        return events
+
+    def chrome_trace(self) -> str:
+        """Deterministic JSON dump: same run -> byte-identical text."""
+        return json.dumps(
+            {"traceEvents": self.chrome_events(), "displayTimeUnit": "ns"},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        by_track: Dict[str, int] = {}
+        for tr, *_ in self._spans:
+            by_track[tr] = by_track.get(tr, 0) + 1
+        return {
+            "spans": len(self._spans),
+            "instants": len(self._instants),
+            "spans_by_track": dict(sorted(by_track.items())),
+        }

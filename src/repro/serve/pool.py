@@ -58,6 +58,10 @@ class PoolWorker:
     def __init__(self, worker_id: int, executor: PhotonicExecutor):
         self.worker_id = worker_id
         self.executor = executor
+        # Observability hook (set via ExecutorPool.set_tracer): when
+        # present, every booked busy window emits a dispatch span on the
+        # worker track of the simulated-clock trace.
+        self.tracer = None
         self.busy_until = 0.0
         self.busy_time = 0.0
         self.batches_served = 0
@@ -109,6 +113,16 @@ class PoolWorker:
         self.requests_served += batch
         self.tokens_served += tokens
         self.models_programmed.add(model_name)
+        if self.tracer is not None:
+            self.tracer.span(
+                "worker",
+                self.worker_id,
+                f"dispatch:{model_name}",
+                now,
+                self.busy_until,
+                category="dispatch",
+                args={"batch": batch, "tokens": tokens},
+            )
 
     def run_batch(
         self,
@@ -143,12 +157,22 @@ class ExecutorPool:
             )
         self._factory = executor_factory or (lambda: PhotonicExecutor())
         self.workers = [PoolWorker(i, self._factory()) for i in range(num_workers)]
+        self.tracer = None
         self._next_worker_id = num_workers
         self.policy = policy
         self._models: Dict[str, Sequential] = {}
         self._replicas: Dict[str, List[int]] = {}
         self._rr_state: Dict[str, int] = {}
         self._place_cursor = 0
+
+    def set_tracer(self, tracer) -> None:
+        """Install an observability tracer on the pool and every worker.
+
+        Replacement workers created later inherit it automatically.
+        """
+        self.tracer = tracer
+        for w in self.workers:
+            w.tracer = tracer
 
     # ------------------------------------------------------------------
     # Placement
@@ -232,11 +256,19 @@ class ExecutorPool:
                 if name not in w.models_programmed:
                     w.executor.prewarm(self._models[name])
                     w.models_programmed.add(name)
-                    w.busy_until = (
-                        max(w.busy_until, now) + prewarm_latency_s
-                    )
+                    t0 = max(w.busy_until, now)
+                    w.busy_until = t0 + prewarm_latency_s
                     w.busy_time += prewarm_latency_s
                     cold.append(w.worker_id)
+                    if self.tracer is not None and prewarm_latency_s > 0.0:
+                        self.tracer.span(
+                            "worker",
+                            w.worker_id,
+                            f"reprogram:{name}",
+                            t0,
+                            w.busy_until,
+                            category="reprogram",
+                        )
                 current.append(w.worker_id)
                 added.append(w.worker_id)
         elif n < len(current):
@@ -350,6 +382,8 @@ class ExecutorPool:
             return
         w.responsive = False
         w.fail_time = now
+        if self.tracer is not None:
+            self.tracer.instant("worker", worker_id, "crash", now)
 
     def slow(self, worker_id: int, factor: float, until: float) -> None:
         """Degrade ``worker_id``: service times scale by ``factor`` until ``until``."""
@@ -412,7 +446,16 @@ class ExecutorPool:
         fresh = PoolWorker(self._next_worker_id, self._factory())
         self._next_worker_id += 1
         fresh.last_seen = now
+        fresh.tracer = self.tracer
         self.workers.append(fresh)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "worker",
+                fresh.worker_id,
+                "replace",
+                now,
+                args={"replaces": dead_worker_id},
+            )
         for name, replica_ids in self._replicas.items():
             if dead_worker_id not in replica_ids:
                 continue
@@ -424,8 +467,18 @@ class ExecutorPool:
                 if callable(prewarm_latency_s)
                 else prewarm_latency_s
             )
-            fresh.busy_until = max(fresh.busy_until, now) + charge
+            t0 = max(fresh.busy_until, now)
+            fresh.busy_until = t0 + charge
             fresh.busy_time += charge
+            if self.tracer is not None and charge > 0.0:
+                self.tracer.span(
+                    "worker",
+                    fresh.worker_id,
+                    f"reprogram:{name}",
+                    t0,
+                    fresh.busy_until,
+                    category="reprogram",
+                )
         return fresh.worker_id
 
     # ------------------------------------------------------------------

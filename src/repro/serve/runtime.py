@@ -312,6 +312,7 @@ class Autoscaler:
         self.runtime = runtime
         self.policy = policy
         self.events: List[Dict[str, float]] = []
+        self.burn_alerts: List[Dict[str, object]] = []
         self._last_change: Dict[str, float] = {}
         self._rs: Dict[str, float] = {}
         self._rs_t: Dict[str, float] = {}
@@ -345,12 +346,29 @@ class Autoscaler:
     # ------------------------------------------------------------------
     def desired_replicas(self, name: str, now: float) -> int:
         """The controller decision for one model at time ``now``."""
+        return self._decide(name, now)[0]
+
+    def _decide(
+        self, name: str, now: float
+    ) -> Tuple[int, Dict[str, object]]:
+        """The decision plus the windowed evidence it was based on.
+
+        The evidence dict is what the tracer attaches to every
+        autoscale instant — a decision is only auditable with the p99,
+        SLO and queue depth the controller actually saw.
+        """
         rt, pol = self.runtime, self.policy
         cur = rt.pool.num_replicas(name)
         depth = rt.queue.pending(name)
         lat = rt.telemetry.latencies(model=name, since=now - pol.window_s)
         p99 = percentile(lat, 99) if lat else None
         slo = rt.profiles()[name].slo_s
+        evidence: Dict[str, object] = {
+            "p99_s": p99,
+            "slo_s": slo,
+            "queue_depth": depth,
+            "window_s": pol.window_s,
+        }
 
         # The pool is the hard ceiling: clamping here (not just inside
         # scale_to) keeps a saturated pool from emitting no-op scale
@@ -365,7 +383,7 @@ class Autoscaler:
             # Never *shrink* on the overload branch: if the deployment was
             # placed above the policy ceiling, retiring replicas exactly
             # when load spikes would be the opposite of the intent.
-            return max(cur, min(ceiling, max(cur + 1, by_queue)))
+            return max(cur, min(ceiling, max(cur + 1, by_queue))), evidence
 
         cooled = (
             now - self._last_change.get(name, 0.0)
@@ -374,15 +392,16 @@ class Autoscaler:
         tail_ok = slo is None or p99 is None or p99 < pol.slo_scale_down * slo
         queue_ok = depth <= pol.queue_low_per_replica * max(cur - 1, 1)
         if cur > pol.min_replicas and cooled and tail_ok and queue_ok:
-            return cur - 1
-        return max(cur, pol.min_replicas)
+            return cur - 1, evidence
+        return max(cur, pol.min_replicas), evidence
 
     def evaluate(self, now: float) -> List[Dict[str, float]]:
         """Run one control tick; returns the scaling actions taken."""
         actions: List[Dict[str, float]] = []
+        tracer = self.runtime.tracer
         for name in self.runtime.pool.model_names():
             cur = self.runtime.pool.num_replicas(name)
-            desired = self.desired_replicas(name, now)
+            desired, evidence = self._decide(name, now)
             if desired == cur:
                 continue
             self._account(name, now)
@@ -411,10 +430,30 @@ class Autoscaler:
             }
             self.events.append(action)
             actions.append(action)
+            if tracer is not None:
+                tracer.instant(
+                    "control",
+                    0,
+                    f"autoscale:{name}",
+                    now,
+                    args={**action, "evidence": evidence},
+                )
+        # Surface (never act on) any SLO error-budget burn alerts: the
+        # burn-rate monitors see the same clock the controller does, so
+        # every alert lands next to the decisions it indicts.
+        slo = self.runtime._slo
+        if slo is not None:
+            fired = slo.check(now)
+            self.burn_alerts.extend(fired)
+            if tracer is not None:
+                for alert in fired:
+                    tracer.instant(
+                        "control", 0, "slo_burn_alert", now, args=dict(alert)
+                    )
         return actions
 
     def summary(self) -> Dict[str, object]:
-        return {
+        out = {
             "events": [dict(e) for e in self.events],
             "num_scale_ups": sum(1 for e in self.events if e["to"] > e["from"]),
             "num_scale_downs": sum(
@@ -428,6 +467,9 @@ class Autoscaler:
                 for name in self.runtime.pool.model_names()
             },
         }
+        if self.burn_alerts:
+            out["burn_alerts"] = [dict(a) for a in self.burn_alerts]
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -453,13 +495,21 @@ class ServingRuntime:
         autoscaler: Optional[AutoscalerPolicy] = None,
         retry: Optional[RetryPolicy] = None,
         health: Optional[HealthPolicy] = None,
+        observability=None,
     ):
         self.pool = pool
         self.batcher = MicroBatcher(policy)
         self.queue = AdmissionQueue(queue_capacity)
         self.service = ServiceModel(accelerator)
         self.clock = SimulatedClock()
-        self.telemetry = Telemetry()
+        self.obs = observability
+        registry = observability.registry if observability is not None else None
+        self.tracer = observability.tracer if observability is not None else None
+        self._slo = observability.slo if observability is not None else None
+        self.telemetry = Telemetry(registry=registry)
+        if self.tracer is not None:
+            pool.set_tracer(self.tracer)
+            self.batcher.tracer = self.tracer
         self.execute = execute
         self.autoscaler = (
             Autoscaler(self, autoscaler) if autoscaler is not None else None
@@ -476,6 +526,9 @@ class ServingRuntime:
         self._stranded: Dict[int, List[InferenceRequest]] = {}
         self._monitor: Optional[FleetMonitor] = None
         self._injector: Optional[FaultInjector] = None
+        # Tracing bookkeeping: when each request (re)started waiting,
+        # closed into a queue_wait span at dispatch.
+        self._wait_since: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     def register_model(
@@ -530,6 +583,7 @@ class ServingRuntime:
                 )
             self._injector = FaultInjector(faults)
             self._monitor = FleetMonitor(self.pool, self.health)
+            self._monitor.tracer = self.tracer
             for event in faults.events:
                 push(event.t, _FAULT, None)
 
@@ -594,6 +648,7 @@ class ServingRuntime:
                     for r in self.queue.pop_batch(model, self.queue.depth):
                         r.status = RequestStatus.FAILED
                         self.telemetry.record_failure(r)
+                        self._trace_terminal(r, "fail", self.clock.now)
             else:
                 raise RuntimeError(
                     f"event loop ended with {self.queue.depth} requests stranded"
@@ -643,8 +698,26 @@ class ServingRuntime:
             request.deadline = now + self.retry.deadline_s
         if not self.queue.offer(request):
             self.telemetry.record_rejection(request)
+            self._trace_terminal(request, "reject", now)
+        else:
+            if self.tracer is not None:
+                self._wait_since[request.request_id] = now
+                self.tracer.instant(
+                    "request", request.request_id, "enqueue", now
+                )
         for victim in self.queue.drain_evicted():
             self.telemetry.record_rejection(victim)
+            self._trace_terminal(victim, "evict", now)
+
+    def _trace_terminal(
+        self, request: InferenceRequest, kind: str, now: float
+    ) -> None:
+        """A request leaving without completing: instant + SLO miss."""
+        if self.tracer is not None:
+            self._wait_since.pop(request.request_id, None)
+            self.tracer.instant("request", request.request_id, kind, now)
+        if self._slo is not None:
+            self._slo.observe(request.model, now, good=False)
 
     # ------------------------------------------------------------------
     # Failure plane
@@ -706,24 +779,38 @@ class ServingRuntime:
         ):
             request.status = RequestStatus.TIMED_OUT
             self.telemetry.record_timeout(request)
+            self._trace_terminal(request, "timeout", now)
             return
         if request.retries >= self.retry.max_retries:
             request.status = RequestStatus.FAILED
             self.telemetry.record_failure(request)
+            self._trace_terminal(request, "fail", now)
             return
         request.retries += 1
         if self.queue.offer(request, front=True):
             self.telemetry.record_retry(request, hedged=hedged)
+            if self.tracer is not None:
+                self._wait_since[request.request_id] = now
+                self.tracer.instant(
+                    "request",
+                    request.request_id,
+                    "retry",
+                    now,
+                    args={"hedged": hedged},
+                )
         else:
             self.telemetry.record_rejection(request)
+            self._trace_terminal(request, "reject", now)
         for victim in self.queue.drain_evicted():
             self.telemetry.record_rejection(victim)
+            self._trace_terminal(victim, "evict", now)
 
     # ------------------------------------------------------------------
     def _drain(self, now: float, push) -> None:
         """Dispatch every batch that is ready and has a free worker."""
         for request in self.queue.expire(now):
             self.telemetry.record_timeout(request)
+            self._trace_terminal(request, "timeout", now)
         while True:
             dispatched = False
             # Snapshot: ready_model recomputes triggers after each pop;
@@ -750,6 +837,7 @@ class ServingRuntime:
         batch = self.batcher.take_batch(self.queue, model, now)
         for request in self.batcher.drain_expired():
             self.telemetry.record_timeout(request)
+            self._trace_terminal(request, "timeout", now)
         if not batch:
             return  # every popped request had expired
         service_s = self.service.batch_latency(model, len(batch))
@@ -775,6 +863,21 @@ class ServingRuntime:
             request.worker_id = worker.worker_id
             if outputs is not None:
                 request.output = outputs[i]
+            if self.tracer is not None:
+                rid = request.request_id
+                t0 = self._wait_since.pop(rid, request.arrival_time)
+                self.tracer.span(
+                    "request", rid, "queue_wait", t0, now, category="queue"
+                )
+                self.tracer.span(
+                    "request",
+                    rid,
+                    "service",
+                    now,
+                    done,
+                    category="service",
+                    args={"batch": len(batch), "worker": worker.worker_id},
+                )
         self.telemetry.record_batch(
             model, batch, worker.worker_id, now, service_s
         )
@@ -791,6 +894,19 @@ class ServingRuntime:
         for request in batch:
             request.status = RequestStatus.COMPLETED
             self.telemetry.record_completion(request)
+            done = request.completion_time
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "request", request.request_id, "retire", done
+                )
+            if self._slo is not None:
+                slo_s = self._profiles[request.model].slo_s
+                latency = done - request.arrival_time
+                self._slo.observe(
+                    request.model,
+                    done,
+                    good=slo_s is None or latency <= slo_s,
+                )
 
     # ------------------------------------------------------------------
     def report(self, scenario, slo_s: Optional[float] = None) -> Dict[str, object]:

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .observability.metrics import MetricsRegistry
 from .request import InferenceRequest, RequestStatus
 
 __all__ = [
@@ -38,8 +39,11 @@ __all__ = [
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile à la np.percentile (q in [0, 100]);
-    0.0 for empty input."""
+    """Linear-interpolated percentile à la np.percentile; 0.0 for empty
+    input.  ``q`` outside ``[0, 100]`` is rejected explicitly (numpy's
+    own message names its internal parameter, not the caller's bug)."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
     if not len(values):
         return 0.0
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
@@ -65,9 +69,58 @@ class _BatchRecord:
 
 
 class Telemetry:
-    """Accumulates serving events; reduces to a summary dict."""
+    """Accumulates serving events; reduces to a summary dict.
 
-    def __init__(self):
+    Every recording method also updates a typed
+    :class:`~repro.serve.observability.metrics.MetricsRegistry` (pass
+    one to share it with the tracer/SLO plane; a private registry is
+    created otherwise), so any run can be exported in Prometheus text
+    format and any gauge read as a streaming ``(t, value)`` series.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._m_completed = reg.counter(
+            "serve_requests_completed_total",
+            "Requests completed, by model and priority class",
+            ("model", "priority"),
+        )
+        self._m_shed = reg.counter(
+            "serve_requests_shed_total",
+            "Requests lost before completion, by priority class and reason",
+            ("priority", "reason"),
+        )
+        self._m_retries = reg.counter(
+            "serve_retries_total",
+            "Requests re-entering admission after a lost dispatch",
+            ("hedged",),
+        )
+        self._m_crashes = reg.counter(
+            "serve_worker_crashes_total", "Worker crash events observed"
+        )
+        self._m_replacements = reg.counter(
+            "serve_worker_replacements_total", "Dead workers replaced"
+        )
+        self._m_batches = reg.counter(
+            "serve_batches_dispatched_total",
+            "Batches dispatched, by model",
+            ("model",),
+        )
+        self._m_batch_size = reg.histogram(
+            "serve_batch_size",
+            "Dispatched batch sizes, by model",
+            ("model",),
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self._m_latency = reg.histogram(
+            "serve_request_latency_seconds",
+            "End-to-end request latency, by model",
+            ("model",),
+        )
+        self._m_queue_depth = reg.gauge(
+            "serve_queue_depth", "Admission queue depth (streamed series)"
+        )
         self.completed: List[InferenceRequest] = []
         self.rejected: int = 0
         self.rejected_by_class: Counter = Counter()
@@ -96,6 +149,9 @@ class Telemetry:
         self.rejected_by_class[request.priority] += 1
         if request.status == RequestStatus.EVICTED:
             self.evicted += 1
+            self._m_shed.labels(request.priority, "evicted").inc()
+        else:
+            self._m_shed.labels(request.priority, "rejected").inc()
 
     def record_retry(self, request: InferenceRequest, hedged: bool = False) -> None:
         """A request re-entering admission after its dispatch was lost
@@ -104,6 +160,7 @@ class Telemetry:
         self.retries += 1
         if hedged:
             self.hedges += 1
+        self._m_retries.labels("true" if hedged else "false").inc()
 
     def record_timeout(self, request: InferenceRequest) -> None:
         """A request whose per-request deadline expired before service.
@@ -111,6 +168,7 @@ class Telemetry:
         Counts as an SLO miss for its class, like a rejection."""
         self.timeouts += 1
         self.timeouts_by_class[request.priority] += 1
+        self._m_shed.labels(request.priority, "timeout").inc()
 
     def record_failure(self, request: InferenceRequest) -> None:
         """A request abandoned after exhausting its retry budget.
@@ -118,12 +176,15 @@ class Telemetry:
         Counts as an SLO miss for its class, like a rejection."""
         self.failed += 1
         self.failed_by_class[request.priority] += 1
+        self._m_shed.labels(request.priority, "failed").inc()
 
     def record_crash(self, worker_id: int) -> None:
         self.crashes += 1
+        self._m_crashes.labels().inc()
 
     def record_replacement(self, dead_worker_id: int, new_worker_id: int) -> None:
         self.replacements += 1
+        self._m_replacements.labels().inc()
 
     def record_batch(
         self,
@@ -136,12 +197,18 @@ class Telemetry:
         self.batches.append(
             _BatchRecord(model, len(requests), worker_id, dispatch_time, service_s)
         )
+        self._m_batches.labels(model).inc()
+        self._m_batch_size.observe(len(requests), model)
 
     def record_completion(self, request: InferenceRequest) -> None:
         self.completed.append(request)
+        self._m_completed.labels(request.model, request.priority).inc()
+        if request.total_latency is not None:
+            self._m_latency.observe(request.total_latency, request.model)
 
     def sample_queue_depth(self, now: float, depth: int) -> None:
         self._depth_samples.append((now, depth))
+        self._m_queue_depth.labels().set(depth, t=now)
 
     # ------------------------------------------------------------------
     # Reductions
@@ -378,7 +445,81 @@ class EngineTelemetry:
     cross-check discipline as request-level :class:`Telemetry`.
     """
 
-    def __init__(self):
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._m_sessions = reg.counter(
+            "engine_sessions_completed_total",
+            "Sessions decoded to completion, by model and priority class",
+            ("model", "priority"),
+        )
+        self._m_rejected = reg.counter(
+            "engine_sessions_rejected_total",
+            "Sessions rejected or shed before completion",
+            ("priority",),
+        )
+        self._m_tokens = reg.counter(
+            "engine_tokens_generated_total",
+            "Tokens committed by completed sessions, by model",
+            ("model",),
+        )
+        self._m_steps = reg.counter(
+            "engine_steps_total",
+            "Iteration-level engine steps dispatched, by model",
+            ("model",),
+        )
+        self._m_preemptions = reg.counter(
+            "engine_preemptions_total",
+            "Sessions preempted, by priority class",
+            ("priority",),
+        )
+        self._m_faults = reg.counter(
+            "engine_faults_injected_total",
+            "Injected fault events applied, by kind",
+            ("kind",),
+        )
+        self._m_transients = reg.counter(
+            "engine_transients_total",
+            "RRNS-detected transient faults, by outcome",
+            ("outcome",),
+        )
+        self._m_recovered = reg.counter(
+            "engine_sessions_recovered_total", "Sessions rescued off lost KV"
+        )
+        self._m_failed = reg.counter(
+            "engine_sessions_failed_total", "Sessions terminally failed"
+        )
+        self._m_kv_lost = reg.counter(
+            "engine_kv_blocks_lost_total", "KV blocks destroyed by faults"
+        )
+        self._m_crashes = reg.counter(
+            "engine_replica_crashes_total", "Replica crash events observed"
+        )
+        self._m_replacements = reg.counter(
+            "engine_replica_replacements_total", "Dead replicas replaced"
+        )
+        self._m_health = reg.counter(
+            "engine_health_transitions_total",
+            "Fleet monitor health transitions, by target state",
+            ("to",),
+        )
+        self._m_stall = reg.counter(
+            "engine_stall_seconds_total",
+            "Wall time lost to degraded workers (simulated seconds)",
+        )
+        self._m_ttft = reg.histogram(
+            "engine_ttft_seconds",
+            "Time to first token, by priority class",
+            ("priority",),
+        )
+        self._m_kv_occupancy = reg.gauge(
+            "engine_kv_occupancy",
+            "KV block pool occupancy after each step (streamed series)",
+        )
+        self._m_batch_active = reg.gauge(
+            "engine_active_decoders",
+            "Active decode slots per step (streamed series)",
+        )
         self.sessions: List = []
         self.rejected: List = []
         self.steps: List[_StepRecord] = []
@@ -428,16 +569,27 @@ class EngineTelemetry:
                 stall_s=stall_s,
             )
         )
+        self._m_steps.labels(model).inc()
+        self._m_kv_occupancy.labels().set(kv_occupancy, t=t)
+        self._m_batch_active.labels().set(active, t=t)
+        if stall_s > 0.0:
+            self._m_stall.labels().inc(stall_s)
 
     def record_session(self, session) -> None:
         self.sessions.append(session)
+        self._m_sessions.labels(session.model, session.priority).inc()
+        self._m_tokens.labels(session.model).inc(session.tokens_generated)
+        if session.ttft is not None:
+            self._m_ttft.observe(session.ttft, str(session.priority))
 
     def record_rejection(self, session) -> None:
         self.rejected.append(session)
+        self._m_rejected.labels(session.priority).inc()
 
     def record_preemption(self, session) -> None:
         self.preemptions += 1
         self.preemptions_by_class[session.priority] += 1
+        self._m_preemptions.labels(session.priority).inc()
 
     def record_prefix(self, prompt_tokens: int, cached_tokens: int) -> None:
         """One admission's prefix-cache outcome (lookups only — an
@@ -447,6 +599,7 @@ class EngineTelemetry:
     def record_fault(self, kind: str) -> None:
         """One injected fault event applied to the engine."""
         self.faults_injected[kind] += 1
+        self._m_faults.labels(kind).inc()
 
     def record_transient(self, uncorrectable: bool, tokens_retried: int = 0) -> None:
         """One RRNS-detected transient compute fault.
@@ -459,39 +612,48 @@ class EngineTelemetry:
         if uncorrectable:
             self.faults_uncorrectable += 1
             self.tokens_retried += tokens_retried
+            self._m_transients.labels("uncorrectable").inc()
         else:
             self.faults_corrected += 1
+            self._m_transients.labels("corrected").inc()
 
     def record_recovery(self, session, reprefill_tokens: int) -> None:
         """A session rescued off a dead replica (or lost KV) and
         requeued; ``reprefill_tokens`` is the context it must rebuild."""
         self.sessions_recovered += 1
         self.recovery_reprefill_tokens += int(reprefill_tokens)
+        self._m_recovered.labels().inc()
 
     def record_session_failure(self, session) -> None:
         """A session abandoned because recovery is disabled (or
         impossible) after its replica died."""
         self.sessions_failed += 1
+        self._m_failed.labels().inc()
 
     def record_shed(self, session) -> None:
         """A waiting session shed to protect higher classes under
         capacity loss; also counts as a rejection for SLO purposes."""
         self.sessions_shed += 1
         self.rejected.append(session)
+        self._m_rejected.labels(session.priority).inc()
 
     def record_kv_loss(self, blocks: int) -> None:
         self.kv_blocks_lost += int(blocks)
+        self._m_kv_lost.labels().inc(int(blocks))
 
     def record_crash(self, worker_id: int) -> None:
         self.replica_crashes += 1
+        self._m_crashes.labels().inc()
 
     def record_replacement(self, dead_worker_id: int, new_worker_id: int) -> None:
         self.replicas_replaced += 1
+        self._m_replacements.labels().inc()
 
     def record_health_transition(self, transition: Dict) -> None:
         """One monitor transition (healthy→suspect→dead) with timing —
         the unavailability-window audit trail."""
         self.health_transitions.append(dict(transition))
+        self._m_health.labels(transition["to"]).inc()
 
     # ------------------------------------------------------------------
     # Reductions

@@ -97,10 +97,18 @@ class TestExamples:
         assert pct(ideal) == pct(cal)  # calibration fully restores
         assert pct(raw) < pct(ideal)  # raw fabrication errors destroy
 
+    def test_observability_demo(self):
+        result = _run("observability_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "exact" in result.stdout
+        assert "round-trip exact: True" in result.stdout
+        assert "gap-free session timelines: 16/16" in result.stdout
+
     def test_all_examples_present(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
         assert {
             "autoscale_demo.py",
+            "observability_demo.py",
             "prefix_sharing_demo.py",
             "quickstart.py",
             "train_mirage_vs_fp32.py",
