@@ -13,6 +13,12 @@ them explicitly — an easy way for them to silently rot.  The default
 (no-flag) run forces ``REPRO_SMOKE=1`` and pulls the three modules into
 collection; committed ``BENCH_*.json`` regeneration stays gated behind
 ``REPRO_FULL=1`` (which disables the smoke forcing).
+
+The tier-1 suite also carries the static-analysis gate
+(``tests/test_checks_gate.py``): ``repro.checks`` runs strict over
+``src/`` and relaxed over ``tests/`` + ``benchmarks/``, so determinism /
+layering / clock-discipline / hygiene violations fail the plain run —
+see ``[tool.repro-checks]`` in ``pyproject.toml``.
 """
 
 import os

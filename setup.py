@@ -1,3 +1,34 @@
+"""Editable-install shim: all metadata lives in pyproject.toml.
+
+The baked toolchain pins setuptools 65.5, whose PEP 517/660 hooks still
+delegate to the ``wheel`` package (``dist_info`` and ``editable_wheel``
+both resolve the ``bdist_wheel`` command), but ``wheel`` is not
+installed in the active interpreter and there is no network for build
+isolation.  The container *does* ship wheel 0.38.4 with the system
+python; when the active environment lacks it, borrow that copy via
+``sys.path`` and hand the command class to setuptools directly so
+
+    pip install -e . --no-build-isolation
+
+works end to end.  With a modern toolchain (setuptools >= 70, or wheel
+installed) the fallback never triggers and this file is a plain
+``setup()`` passthrough.
+"""
+
+import sys
+
 from setuptools import setup
 
-setup()
+_SYSTEM_DIST_PACKAGES = "/usr/lib/python3/dist-packages"
+
+try:
+    from wheel.bdist_wheel import bdist_wheel
+except ImportError:
+    if _SYSTEM_DIST_PACKAGES not in sys.path:
+        sys.path.append(_SYSTEM_DIST_PACKAGES)
+    try:
+        from wheel.bdist_wheel import bdist_wheel
+    except ImportError:
+        bdist_wheel = None
+
+setup(cmdclass={} if bdist_wheel is None else {"bdist_wheel": bdist_wheel})

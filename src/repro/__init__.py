@@ -18,7 +18,11 @@ Reproduces Demirkiran et al., ISCA 2024 (arXiv:2311.17323) end to end:
   Fig. 2 dataflow, bit-exact against the BFP reference when noiseless;
 * :mod:`repro.serve` — inference serving runtime (bounded admission,
   dynamic micro-batching, executor pools, traffic scenarios, telemetry);
-* :mod:`repro.analysis` — one experiment generator per paper table/figure.
+* :mod:`repro.analysis` — one experiment generator per paper table/figure;
+* :mod:`repro.determinism` — RNG discipline (``resolve_rng``: explicit
+  seed/Generator, or the one documented nondeterministic opt-in);
+* :mod:`repro.checks` — self-hosted static analysis (determinism,
+  layering, clock-discipline and hygiene rules; ``python -m repro.checks``).
 
 Quickstart::
 
@@ -31,7 +35,19 @@ Quickstart::
     y = core.matmul(w, x)                    # full photonic RNS dataflow
 """
 
-from . import analysis, arch, bfp, core, nn, photonic, quant, rns, serve
+from . import (
+    analysis,
+    arch,
+    bfp,
+    checks,
+    core,
+    determinism,
+    nn,
+    photonic,
+    quant,
+    rns,
+    serve,
+)
 
 __version__ = "1.0.0"
 
@@ -45,5 +61,7 @@ __all__ = [
     "core",
     "serve",
     "analysis",
+    "determinism",
+    "checks",
     "__version__",
 ]

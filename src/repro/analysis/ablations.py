@@ -88,7 +88,10 @@ def run_moduli_ablation(k: int = 5, n_values: int = 200_000, seed: int = 0) -> s
         values = rng.integers(0, mset.dynamic_range, size=n_values)
         residues = forward_convert(values, mset)
         out, per_val = host_time(fn, residues)
-        assert np.array_equal(out, values)
+        if not np.array_equal(out, values):
+            raise RuntimeError(
+                f"{name}: reverse conversion is not exact"
+            )
         rows.append(
             (name, mset.dynamic_range_bits, wide_muls, mod_width, per_val)
         )

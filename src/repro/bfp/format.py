@@ -21,6 +21,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..determinism import resolve_rng
+
 __all__ = [
     "BFPConfig",
     "BFPBlock",
@@ -107,8 +109,7 @@ def _drop_bits(scaled: np.ndarray, config: BFPConfig, rng: Optional[np.random.Ge
         return np.trunc(scaled)
     if config.rounding == "nearest":
         return np.rint(scaled)
-    if rng is None:
-        rng = np.random.default_rng()
+    rng = resolve_rng(rng)
     floor = np.floor(scaled)
     frac = scaled - floor
     return floor + (rng.random(scaled.shape) < frac)

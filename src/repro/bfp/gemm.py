@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..determinism import resolve_rng
 from .format import BFPConfig, quantize_tensor
 
 __all__ = [
@@ -76,8 +77,7 @@ def bfp_encode_matrix(
     elif config.rounding == "nearest":
         mant = np.rint(grouped * scale)
     else:
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = resolve_rng(rng)
         scaled = grouped * scale
         floor = np.floor(scaled)
         mant = floor + (rng.random(scaled.shape) < (scaled - floor))

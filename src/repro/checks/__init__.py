@@ -1,0 +1,76 @@
+"""Self-hosted static analysis for the repro codebase.
+
+Every gate this repo ships — bit-exact decode vs batch-1, byte-identical
+seeded fault-storm replays, exact analytic cross-checks — rests on
+properties no runtime test asserts directly: nothing on a simulated path
+reads the wall clock or an unseeded RNG, layers only import downward,
+and timestamp comparisons in ``serve/`` go through the relative-
+tolerance clock helpers.  This package machine-checks those invariants
+on every ``pytest`` run (see ``tests/test_checks_gate.py``) and from the
+command line::
+
+    PYTHONPATH=src python -m repro.checks src               # strict
+    PYTHONPATH=src python -m repro.checks tests benchmarks --profile relaxed
+    PYTHONPATH=src python -m repro.checks --list-rules
+    PYTHONPATH=src python -m repro.checks src --format json
+    PYTHONPATH=src python -m repro.checks src --write-baseline  # regen
+
+The framework is dependency-free (stdlib :mod:`ast` + :mod:`tomllib`
+only) so the bottom-to-top layer order it enforces never depends on the
+code it checks.
+
+Architecture
+------------
+``config``
+    ``[tool.repro-checks]`` in pyproject.toml: layer order, clock paths
+    and helper names, wall-clock allowlist, excludes, baseline path,
+    per-profile rule disables.  Defaults mirror the committed file.
+``registry`` / ``astutil``
+    Rule registration (``@rule(id, description, scope)``) and the
+    per-file :class:`~repro.checks.registry.ModuleContext` handed to
+    module-scope rules; project-scope rules (layering) see all files at
+    once.
+``rules``
+    The rule set, one module per category:
+
+    * **determinism** — no stdlib ``random``; no seedless
+      ``np.random.default_rng()`` (the single sanctioned call sits in
+      :func:`repro.determinism.resolve_rng` under a waiver); no legacy
+      ``np.random.*`` global-state calls; no wall-clock reads outside
+      the ``repro/analysis`` allowlist.
+    * **layering** — the import DAG of ``repro`` must match the
+      declared order ``determinism/rns/bfp/quant -> photonic -> nn ->
+      core -> arch -> serve -> analysis/checks`` (upward imports,
+      undeclared packages and cycles are findings).
+    * **clock discipline** — raw ``==``/``<=``/``>=`` on simulated
+      timestamps in ``serve/`` must go through
+      ``serve.clock.time_at_or_before`` (PR 3's epsilon bug, encoded).
+    * **hygiene** — mutable default args, bare ``except``, assert-as-
+      input-validation, module-level side effects, shadowed builtins.
+``waivers``
+    Inline escape hatch: ``# repro: waive[rule-id] -- reason`` on the
+    offending line.  The reason is mandatory (``waiver-missing-reason``)
+    and stale waivers are findings too (``waiver-unused``).
+``baseline``
+    Committed JSON (``checks-baseline.json``) grandfathering pre-rule
+    findings, keyed by source-line fingerprint so they survive
+    line-number drift; regenerate with ``--write-baseline``.  Stale
+    entries are ``baseline-stale`` findings.
+``runner`` / ``cli``
+    File collection, rule execution, waiver/baseline application,
+    text/JSON reports, exit codes (0 clean / 1 findings / 2 usage).
+"""
+
+from .config import CheckConfig, load_config
+from .findings import Finding, Report
+from .registry import all_rules
+from .runner import run_checks
+
+__all__ = [
+    "CheckConfig",
+    "Finding",
+    "Report",
+    "all_rules",
+    "load_config",
+    "run_checks",
+]

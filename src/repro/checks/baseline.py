@@ -1,0 +1,89 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file listing findings that predate a rule and are
+tolerated until fixed.  Entries are keyed by ``(rule, path,
+fingerprint)`` — the fingerprint hashes the offending source line's
+stripped text, so the entry survives line-number drift but dies with the
+line itself.  Matching is multiset-style: one entry absorbs one finding,
+duplicates need duplicate entries.
+
+Stale entries (nothing left to absorb) surface as ``baseline-stale``
+findings; regenerate with ``python -m repro.checks --write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_Key = Tuple[str, str, str]  # (rule, path, fingerprint)
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load baseline entries as a multiset of keys; missing file = empty."""
+    if not path.is_file():
+        return Counter()
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("version") != 1:
+        raise ValueError(f"{path}: unrecognised baseline format")
+    entries: Counter = Counter()
+    for entry in payload.get("entries", []):
+        entries[(entry["rule"], entry["path"], entry["fingerprint"])] += int(
+            entry.get("count", 1)
+        )
+    return entries
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> int:
+    """Write all *active* findings as the new baseline; returns count."""
+    keys = Counter(
+        (f.rule, f.path, f.fingerprint)
+        for f in findings
+        if not f.waived
+    )
+    entries = [
+        {"rule": rule, "path": p, "fingerprint": fp, "count": n}
+        for (rule, p, fp), n in sorted(keys.items())
+    ]
+    payload = {"version": 1, "entries": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return sum(keys.values())
+
+
+def apply_baseline(findings: List[Finding], baseline: Counter) -> List[Finding]:
+    """Mark baselined findings; emit baseline-stale findings for leftovers."""
+    remaining = Counter(baseline)
+    for f in findings:
+        if f.waived:
+            continue
+        key = (f.rule, f.path, f.fingerprint)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            f.baselined = True
+    extra: List[Finding] = []
+    for (rule, path, fp), n in sorted(remaining.items()):
+        if n <= 0:
+            continue
+        extra.append(
+            Finding(
+                path=path,
+                line=0,
+                col=0,
+                rule="baseline-stale",
+                message=(
+                    f"baseline entry for {rule} (fingerprint {fp}) matches "
+                    f"nothing; regenerate with --write-baseline"
+                ),
+                fingerprint=fp,
+            )
+        )
+    return findings + extra

@@ -1,0 +1,115 @@
+"""Finding records and report rendering for :mod:`repro.checks`.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+identity for baseline matching is the triple ``(rule, path,
+line_fingerprint)`` — the fingerprint hashes the *stripped source line*
+rather than the line number, so unrelated edits above a grandfathered
+finding do not invalidate the committed baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Finding", "Report", "line_fingerprint"]
+
+
+def line_fingerprint(source_line: str) -> str:
+    """Stable identity of a source line: sha1 of its stripped text."""
+    return hashlib.sha1(source_line.strip().encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(order=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is repo-relative with forward slashes so reports, waivers
+    and baselines are portable across checkouts.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str = field(compare=False)
+    fingerprint: str = field(default="", compare=False)
+    waived: bool = field(default=False, compare=False)
+    waive_reason: Optional[str] = field(default=None, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def suppressed(self) -> bool:
+        return self.waived or self.baselined
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "waived": self.waived,
+            "waive_reason": self.waive_reason,
+            "baselined": self.baselined,
+        }
+
+
+@dataclass
+class Report:
+    """The outcome of one checker run."""
+
+    profile: str
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that fail the run (not waived, not baselined)."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.active:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render_text(self, *, show_suppressed: bool = False) -> str:
+        lines: List[str] = []
+        for f in sorted(self.findings):
+            if f.suppressed and not show_suppressed:
+                continue
+            tag = ""
+            if f.waived:
+                tag = " [waived: %s]" % (f.waive_reason or "?")
+            elif f.baselined:
+                tag = " [baselined]"
+            lines.append(f"{f.location()}: {f.rule}: {f.message}{tag}")
+        active = self.active
+        suppressed = len(self.findings) - len(active)
+        lines.append(
+            f"{len(active)} finding(s) in {self.files_checked} file(s)"
+            f" ({suppressed} suppressed, profile={self.profile})"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        payload = {
+            "version": 1,
+            "profile": self.profile,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+            "counts": self.counts_by_rule(),
+            "exit_code": self.exit_code,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,3 @@
+"""Rule modules; importing this package registers every rule."""
+
+from . import clockdiscipline, determinism, hygiene, layering  # noqa: F401

@@ -1,0 +1,71 @@
+"""Clock discipline: simulated-time comparisons must tolerate rounding.
+
+PR 3's timestamp-epsilon bug is the canonical failure: ``worker.free_at
+<= now + 1e-15`` silently stopped absorbing float rounding once
+simulated time grew past ~1 s, and workers "free at exactly now" read
+as busy forever.  The sanctioned form is
+:func:`repro.serve.clock.time_at_or_before` (relative, ulp-scaled).
+
+``clock-raw-compare`` flags ``==`` / ``<=`` / ``>=`` comparisons inside
+the configured clock paths (``src/repro/serve``) where either side is a
+simulated-timestamp expression — terminal identifier ``now`` /
+``deadline`` or suffix ``_at`` / ``_time`` / ``_tick`` / ``_deadline``.
+Comparisons that already route through a configured helper
+(``time_at_or_before`` / ``time_tolerance``) are tolerance-aware and
+skipped, as are comparisons against literals (sentinel checks like
+``deadline == 0.0`` are identity tests, not clock reads).
+
+Strict ``<`` / ``>`` are untouched: directional checks define which side
+of the boundary wins and an epsilon would change scheduling semantics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import contains_call_to, terminal_name
+from ..findings import Finding
+from ..registry import ModuleContext, rule
+
+_TIMEY_EXACT = frozenset({"now", "deadline"})
+_TIMEY_SUFFIX = ("_at", "_time", "_tick", "_deadline")
+
+
+def _is_timey(node: ast.AST) -> bool:
+    name = terminal_name(node)
+    if name is None:
+        return False
+    return name in _TIMEY_EXACT or name.endswith(_TIMEY_SUFFIX)
+
+
+@rule("clock-raw-compare", "raw ==/<=/>= on simulated timestamps")
+def check_clock_compare(ctx: ModuleContext) -> Iterator[Finding]:
+    if not ctx.in_paths(ctx.config.clock_paths):
+        return
+    helpers = tuple(ctx.config.clock_helpers)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if contains_call_to(node, helpers):
+            continue
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.LtE, ast.GtE)) and (
+                _is_timey(left) or _is_timey(right)
+            ):
+                if not (
+                    isinstance(left, ast.Constant)
+                    or isinstance(right, ast.Constant)
+                ):
+                    yield ctx.finding(
+                        "clock-raw-compare",
+                        node,
+                        "raw timestamp comparison "
+                        f"'{ast.unparse(node)}'; use "
+                        "serve.clock.time_at_or_before (relative "
+                        "tolerance) or waive with the reason the exact "
+                        "compare is intended",
+                    )
+                    break
+            left = right

@@ -1,0 +1,134 @@
+"""Determinism rules: simulated paths must not read ambient entropy/time.
+
+Every gate in this repo (bit-exact decode vs batch-1, byte-identical
+seeded replays, exact analytic cross-checks) assumes simulation state is
+a pure function of explicit seeds.  These rules make the three ways that
+assumption historically leaked machine-checked:
+
+* ``determinism-random-module`` — the stdlib :mod:`random` module is a
+  process-global, implicitly seeded stream; simulated code must thread
+  ``numpy.random.Generator`` objects instead.
+* ``determinism-seedless-rng`` — ``np.random.default_rng()`` with no
+  seed pulls OS entropy.  The only sanctioned call sits inside
+  :func:`repro.determinism.resolve_rng` as the documented
+  ``seed=None ⇒ nondeterministic`` opt-in (and carries a waiver).
+* ``determinism-legacy-np-random`` — ``np.random.rand``/``seed``/… use
+  the legacy global ``RandomState``; hidden cross-module coupling.
+* ``determinism-wall-clock`` — ``time.time``/``perf_counter``/
+  ``datetime.now`` on a simulated path makes runs unrepeatable; allowed
+  only under the configured allowlist (``repro/analysis`` host-timing
+  tables) and in the relaxed profile (benchmarks).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from ..registry import ModuleContext, rule
+
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "seed", "normal", "uniform", "choice", "shuffle",
+        "permutation", "standard_normal", "binomial", "poisson",
+        "exponential", "beta", "gamma", "get_state", "set_state",
+    }
+)
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time", "time.time_ns", "time.perf_counter",
+        "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.now", "datetime.utcnow", "datetime.today",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today", "date.today",
+    }
+)
+
+
+@rule("determinism-random-module", "stdlib random is a hidden global stream")
+def check_random_module(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield ctx.finding(
+                        "determinism-random-module",
+                        node,
+                        "import of stdlib 'random'; thread a seeded "
+                        "numpy Generator instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "random":
+                yield ctx.finding(
+                    "determinism-random-module",
+                    node,
+                    "import from stdlib 'random'; thread a seeded "
+                    "numpy Generator instead",
+                )
+
+
+@rule("determinism-seedless-rng", "default_rng() without a seed pulls OS entropy")
+def check_seedless_rng(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if callee is None or callee.split(".")[-1] != "default_rng":
+            continue
+        if not node.args and not node.keywords:
+            yield ctx.finding(
+                "determinism-seedless-rng",
+                node,
+                "seedless np.random.default_rng(); pass a seed/Generator "
+                "or go through repro.determinism.resolve_rng",
+            )
+
+
+@rule("determinism-legacy-np-random", "legacy np.random.* global-state API")
+def check_legacy_np_random(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if callee is None:
+            continue
+        parts = callee.split(".")
+        # Match `np.random.<legacy>` / `numpy.random.<legacy>` exactly —
+        # `rng.shuffle(...)` on a Generator instance is the sanctioned
+        # API and must not fire.
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in _LEGACY_NP_RANDOM
+        ):
+            yield ctx.finding(
+                "determinism-legacy-np-random",
+                node,
+                f"legacy global-state API {callee}(); use an explicit "
+                "np.random.Generator",
+            )
+
+
+@rule("determinism-wall-clock", "wall-clock read on a simulated path")
+def check_wall_clock(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.in_paths(ctx.config.wallclock_allow):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if callee in _WALL_CLOCK:
+            yield ctx.finding(
+                "determinism-wall-clock",
+                node,
+                f"wall-clock read {callee}(); simulated paths must use "
+                "serve.clock.SimulatedClock (allowlist: "
+                + ", ".join(ctx.config.wallclock_allow)
+                + ")",
+            )

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..bfp.format import BFPConfig
+from ..determinism import resolve_rng, spawn_rng
 from ..bfp.gemm import bfp_encode_matrix
 from ..photonic.mdpu import MMVMU, NoiseModel
 from ..rns.moduli import ModuliSet
@@ -118,9 +119,9 @@ class FaultTolerantCore:
                 f"for bm={bm}, g={g}"
             )
         self.g, self.v = g, v
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.units = [
-            MMVMU(m, g, v, noise, np.random.default_rng(rng.integers(2**63)))
+            MMVMU(m, g, v, noise, spawn_rng(rng))
             for m in self.codec.full_set.moduli
         ]
         self.stats = FaultTolerantStats()

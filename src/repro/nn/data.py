@@ -22,6 +22,8 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from ..determinism import resolve_rng
+
 __all__ = [
     "ArrayDataset",
     "batches",
@@ -61,7 +63,7 @@ def batches(
     n = len(dataset)
     order = np.arange(n)
     if shuffle:
-        (rng or np.random.default_rng()).shuffle(order)
+        resolve_rng(rng).shuffle(order)
     for start in range(0, n, batch_size):
         idx = order[start : start + batch_size]
         if dataset.extras is None:

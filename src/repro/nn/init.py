@@ -7,6 +7,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..determinism import resolve_rng
+
 __all__ = ["kaiming_uniform", "xavier_uniform", "normal_"]
 
 
@@ -16,7 +18,7 @@ def kaiming_uniform(
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
     """He-style uniform init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     bound = 1.0 / math.sqrt(max(1, fan_in))
     return rng.uniform(-bound, bound, size=shape)
 
@@ -28,7 +30,7 @@ def xavier_uniform(
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
     """Glorot uniform init: U(-sqrt(6/(fan_in+fan_out)), +...)."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     bound = math.sqrt(6.0 / max(1, fan_in + fan_out))
     return rng.uniform(-bound, bound, size=shape)
 
@@ -39,5 +41,5 @@ def normal_(
     rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
     """Zero-mean Gaussian init."""
-    rng = rng or np.random.default_rng()
+    rng = resolve_rng(rng)
     return rng.normal(0.0, std, size=shape)

@@ -12,6 +12,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..determinism import resolve_rng
 from . import init
 from .tensor import Tensor
 
@@ -208,7 +209,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout p must be in [0, 1), got {p}")
         self.p = p
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.training or self.p == 0.0:
@@ -294,7 +295,7 @@ class Embedding(Module):
     def __init__(self, num_embeddings: int, dim: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.num_embeddings = num_embeddings
         self.dim = dim
         self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, dim)))

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..determinism import RngLike, resolve_rng
 from .mmu import TWO_PI, phase_to_level
 
 __all__ = ["PhaseDetector", "quantize_adc"]
@@ -56,6 +57,10 @@ class PhaseDetector:
         ADC precision; defaults to ``ceil(log2 m)``.
     use_adc:
         Disable to study the noise floor without quantisation.
+    rng:
+        Noise stream: a Generator or an int seed for bit-reproducible
+        noise; ``None`` is the documented nondeterministic opt-in
+        (fresh OS entropy via :func:`repro.determinism.resolve_rng`).
     """
 
     modulus: int
@@ -63,13 +68,12 @@ class PhaseDetector:
     noise_std: float = 0.0
     adc_bits: Optional[int] = None
     use_adc: bool = True
-    rng: Optional[np.random.Generator] = None
+    rng: RngLike = None
 
     def __post_init__(self):
         if self.adc_bits is None:
             self.adc_bits = max(1, math.ceil(math.log2(self.modulus)))
-        if self.rng is None:
-            self.rng = np.random.default_rng()
+        self.rng = resolve_rng(self.rng)
 
     def read_iq(self, phase: np.ndarray):
         """Return the (I, Q) photocurrents for a physical phase.

@@ -36,6 +36,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..determinism import RngLike, resolve_rng, spawn_rng
 from ..rns.moduli import ModuliSet
 from .detection import PhaseDetector
 from .mmu import MMU, TWO_PI, popcount, wrap_phase
@@ -115,14 +116,14 @@ class MDPU:
         modulus: int,
         g: int,
         noise: Optional[NoiseModel] = None,
-        rng: Optional[np.random.Generator] = None,
+        rng: RngLike = None,
     ):
         if g < 1:
             raise ValueError(f"g must be >= 1, got {g}")
         self.modulus = modulus
         self.g = g
         self.noise = noise or NoiseModel.ideal()
-        self.rng = rng or np.random.default_rng()
+        self.rng = resolve_rng(rng)
         self.mmu = MMU(modulus, self.noise.phase_error_std, self.rng)
         self.detector = PhaseDetector(
             modulus,
@@ -154,7 +155,7 @@ class MMVMU:
         g: int,
         v: int,
         noise: Optional[NoiseModel] = None,
-        rng: Optional[np.random.Generator] = None,
+        rng: RngLike = None,
     ):
         if v < 1:
             raise ValueError(f"v must be >= 1, got {v}")
@@ -228,16 +229,15 @@ class RnsMMVMU:
         g: int,
         v: int,
         noise: Optional[NoiseModel] = None,
-        rng: Optional[np.random.Generator] = None,
+        rng: RngLike = None,
     ):
         self.mset = mset
         self.g = g
         self.v = v
         self.noise = noise or NoiseModel.ideal()
-        rng = rng or np.random.default_rng()
+        rng = resolve_rng(rng)
         self.units = [
-            MMVMU(m, g, v, noise, np.random.default_rng(rng.integers(2**63)))
-            for m in mset.moduli
+            MMVMU(m, g, v, noise, spawn_rng(rng)) for m in mset.moduli
         ]
 
     @property

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..determinism import RngLike, resolve_rng
 from .devices import MMUGeometry, PhaseShifterBank
 
 __all__ = ["MMU", "wrap_phase", "phase_to_level", "popcount"]
@@ -73,18 +74,19 @@ class MMU:
         segment (models DAC-limited drive precision / process bias);
         0 disables noise.
     rng:
-        Random generator for error injection.
+        Error-injection stream: a Generator or an int seed for
+        bit-reproducible noise; ``None`` is the documented
+        nondeterministic opt-in (fresh OS entropy).
     """
 
     modulus: int
     phase_error_std: float = 0.0
-    rng: Optional[np.random.Generator] = None
+    rng: RngLike = None
 
     def __post_init__(self):
         self.bank = PhaseShifterBank(self.modulus)
         self.geometry = MMUGeometry(self.bank)
-        if self.rng is None:
-            self.rng = np.random.default_rng()
+        self.rng = resolve_rng(self.rng)
 
     # ------------------------------------------------------------------
     def _check_residues(self, arr: np.ndarray) -> np.ndarray:

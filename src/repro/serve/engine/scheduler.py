@@ -59,7 +59,7 @@ from ...arch.inference import (
 )
 from ...arch.memory import MemorySystemModel
 from ...core.pipeline import PhotonicExecutor
-from ..clock import SimulatedClock
+from ..clock import SimulatedClock, time_at_or_before
 from ..faults import FaultInjector, FaultKind, FaultPlan, FleetMonitor, HealthPolicy
 from ..pool import ExecutorPool
 from ..request import RequestStatus
@@ -812,7 +812,9 @@ class TokenServingEngine:
                         if cand is not None and cand > t:
                             t_next = min(t_next, cand)
                 t = max(t, t_next)
-            while idx < len(sessions) and sessions[idx].arrival_time <= t:
+            while idx < len(sessions) and time_at_or_before(
+                sessions[idx].arrival_time, t
+            ):
                 arrival = sessions[idx]
                 idx += 1
                 if self.kv.blocks_for(arrival.max_context_len) > self.kv.num_blocks:

@@ -56,7 +56,7 @@ from ..arch.workloads import GemmShape, LayerShape
 from ..nn.conv import Conv2d, conv_output_size
 from ..nn.layers import Linear, Sequential
 from .batcher import BatchPolicy, MicroBatcher
-from .clock import SimulatedClock
+from .clock import SimulatedClock, time_at_or_before
 from .faults import FaultInjector, FaultKind, FaultPlan, FleetMonitor, HealthPolicy
 from .pool import ExecutorPool
 from .request import AdmissionQueue, InferenceRequest, RequestStatus
@@ -633,7 +633,7 @@ class ServingRuntime:
                 # the control loop.  Stops once the queue is empty after
                 # the final arrival, so the event loop terminates.
                 next_tick = (payload + 1) * self.autoscaler.policy.interval_s
-                if next_tick <= last_arrival or self.queue.depth > 0:
+                if time_at_or_before(next_tick, last_arrival) or self.queue.depth > 0:
                     push(next_tick, _SCALE, payload + 1)
             # _DEADLINE events exist only to trigger a drain.
             self._drain(now, push)
@@ -772,8 +772,6 @@ class ServingRuntime:
         Deadline and retry budget are checked first — work nobody wants
         (or that has failed too often) terminates instead of churning.
         """
-        from .clock import time_at_or_before
-
         if request.deadline is not None and not time_at_or_before(
             now, request.deadline
         ):

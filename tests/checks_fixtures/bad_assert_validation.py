@@ -1,0 +1,6 @@
+"""Fixture: assert as input validation (hygiene-assert-validation)."""
+
+
+def scale(x: float, factor: float) -> float:
+    assert factor > 0, "factor must be positive"
+    return x * factor

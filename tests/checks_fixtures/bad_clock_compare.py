@@ -1,0 +1,5 @@
+"""Fixture: raw timestamp comparison (clock-raw-compare)."""
+
+
+def worker_is_free(free_at: float, now: float) -> bool:
+    return free_at <= now

@@ -1,0 +1,8 @@
+"""Fixture: legacy global-state numpy RNG (determinism-legacy-np-random)."""
+
+import numpy as np
+
+
+def draw():
+    np.random.seed(0)
+    return np.random.randn(4)

@@ -1,0 +1,6 @@
+"""Fixture: module-level side effects (hygiene-module-side-effect)."""
+
+print("importing me runs code")
+
+for _i in range(3):
+    pass

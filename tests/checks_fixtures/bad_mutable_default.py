@@ -1,0 +1,6 @@
+"""Fixture: mutable default argument (hygiene-mutable-default)."""
+
+
+def extend(items=[]):
+    items.append(1)
+    return items

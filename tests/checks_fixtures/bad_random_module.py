@@ -1,0 +1,7 @@
+"""Fixture: stdlib random import (determinism-random-module)."""
+
+import random  # noqa
+
+
+def draw() -> float:
+    return random.random()

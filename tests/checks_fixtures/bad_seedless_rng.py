@@ -1,0 +1,8 @@
+"""Fixture: seedless default_rng (determinism-seedless-rng)."""
+
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng()
+    return rng.normal()

@@ -1,0 +1,6 @@
+"""Fixture: shadowed builtins (hygiene-shadow-builtin)."""
+
+
+def count(list):
+    type = "sequence"
+    return len(list), type

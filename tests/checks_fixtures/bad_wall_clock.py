@@ -1,0 +1,7 @@
+"""Fixture: wall-clock read (determinism-wall-clock)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.perf_counter()

@@ -1,0 +1,1 @@
+"""Fixture package for the layering rules (layer order: low -> high)."""

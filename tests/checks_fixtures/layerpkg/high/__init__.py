@@ -1,0 +1,6 @@
+"""Top layer; imports nothing (fixture graph stays minimal: one upward
+edge from low/__init__, one cycle between low.cyc_a and low.cyc_b)."""
+
+
+def helper() -> int:
+    return 1

@@ -1,0 +1,5 @@
+"""Bottom layer; importing .high is an upward import."""
+
+from ..high import helper  # upward: low (layer 0) -> high (layer 1)
+
+__all__ = ["helper"]

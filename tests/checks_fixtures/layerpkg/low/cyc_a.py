@@ -1,0 +1,7 @@
+"""Half of an import cycle inside one layer."""
+
+from . import cyc_b  # noqa
+
+
+def a():
+    return cyc_b.b()

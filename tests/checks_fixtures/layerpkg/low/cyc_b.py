@@ -1,0 +1,7 @@
+"""Other half of the import cycle."""
+
+from . import cyc_a  # noqa
+
+
+def b():
+    return cyc_a.a()

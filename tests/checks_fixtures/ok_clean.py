@@ -1,0 +1,9 @@
+"""Fixture: violates nothing under the strict profile."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator, n: int) -> np.ndarray:
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return rng.normal(size=n)

@@ -1,0 +1,7 @@
+"""Fixture: waiver without a reason (waiver-missing-reason, no suppression)."""
+
+import numpy as np
+
+
+def draw():
+    return np.random.default_rng().normal()  # repro: waive[determinism-seedless-rng]

@@ -1,0 +1,7 @@
+"""Fixture: violation suppressed by a reasoned waiver."""
+
+import numpy as np
+
+
+def draw():
+    return np.random.default_rng().normal()  # repro: waive[determinism-seedless-rng] -- fixture exercising a well-formed waiver

@@ -1,0 +1,5 @@
+"""Fixture: waiver on a clean line (waiver-unused)."""
+
+
+def add(a: float, b: float) -> float:
+    return a + b  # repro: waive[determinism-seedless-rng] -- nothing here needs waiving

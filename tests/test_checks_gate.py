@@ -1,0 +1,75 @@
+"""Tier-1 gate: the repository must pass its own static analysis.
+
+Strict profile over ``src/`` (zero active findings, baseline honoured),
+relaxed profile over ``tests/`` and ``benchmarks/``.  A new violation
+anywhere fails the suite; the fix is to correct the code, add a
+reasoned ``# repro: waive[rule-id] -- why`` on the offending line, or —
+for bulk grandfathering only — regenerate the baseline with
+``python -m repro.checks src --write-baseline`` and justify the diff.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.checks import load_config, run_checks
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _gate_config():
+    return load_config(REPO / "pyproject.toml")
+
+
+def test_src_is_clean_under_strict_profile():
+    report = run_checks(
+        [REPO / "src"], profile="strict", config=_gate_config()
+    )
+    assert report.active == [], "\n" + report.render_text()
+    assert report.files_checked > 100  # the whole tree, not a subset
+
+
+def test_tests_and_benchmarks_clean_under_relaxed_profile():
+    report = run_checks(
+        [REPO / "tests", REPO / "benchmarks"],
+        profile="relaxed",
+        config=_gate_config(),
+    )
+    assert report.active == [], "\n" + report.render_text()
+    assert report.files_checked > 50
+
+
+def test_every_waiver_in_src_carries_a_reason():
+    report = run_checks(
+        [REPO / "src"], profile="strict", config=_gate_config()
+    )
+    waived = [f for f in report.findings if f.waived]
+    for f in waived:
+        assert f.waive_reason.strip(), f"{f.path}:{f.line} reasonless waiver"
+
+
+def test_baseline_has_no_serve_entries():
+    """serve/ carries zero grandfathered findings — it stays clean."""
+    cfg = _gate_config()
+    payload = json.loads(cfg.baseline_path().read_text())
+    serve_entries = [
+        e for e in payload["entries"]
+        if e["path"].startswith("src/repro/serve")
+    ]
+    assert serve_entries == []
+
+
+def test_cli_gate_subprocess():
+    """``python -m repro.checks src`` from the repo root exits 0."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.checks", "src"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout

@@ -1,0 +1,158 @@
+"""RNG-discipline tests: resolve_rng precedence and seeded bit-identity.
+
+Every stochastic component threads its ``rng`` argument through
+:func:`repro.determinism.resolve_rng`; these tests pin the contract —
+same seed, same bits — for the noise paths the determinism linter's
+seedless-RNG rule used to flag (detection, MMU, MDPU/RnsMMVMU, the
+fault-tolerant core) and for the rng=None nondeterministic opt-in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fault_tolerant import FaultTolerantCore
+from repro.determinism import resolve_rng, spawn_rng
+from repro.photonic.detection import PhaseDetector
+from repro.photonic.mdpu import NoiseModel, RnsMMVMU
+from repro.photonic.mmu import MMU
+from repro.rns.moduli import ModuliSet
+
+
+# ---------------------------------------------------------------------------
+# resolve_rng / spawn_rng units
+
+
+def test_resolve_rng_passes_generator_through():
+    gen = np.random.default_rng(7)
+    assert resolve_rng(gen) is gen
+
+
+def test_resolve_rng_int_seed_is_reproducible():
+    a = resolve_rng(123).normal(size=8)
+    b = resolve_rng(123).normal(size=8)
+    assert np.array_equal(a, b)
+    assert np.array_equal(a, np.random.default_rng(123).normal(size=8))
+
+
+def test_resolve_rng_seed_keyword_and_precedence():
+    # rng wins over seed when both are given.
+    via_seed = resolve_rng(seed=5).normal(size=4)
+    assert np.array_equal(via_seed, np.random.default_rng(5).normal(size=4))
+    over = resolve_rng(9, seed=5).normal(size=4)
+    assert np.array_equal(over, np.random.default_rng(9).normal(size=4))
+
+
+def test_resolve_rng_none_is_fresh_entropy_opt_in():
+    a, b = resolve_rng(None), resolve_rng(None)
+    assert isinstance(a, np.random.Generator)
+    assert a is not b  # independent streams, not a shared global
+
+
+def test_spawn_rng_deterministic_children():
+    kids1 = [spawn_rng(np.random.default_rng(0)).normal() for _ in range(1)]
+    kids2 = [spawn_rng(np.random.default_rng(0)).normal() for _ in range(1)]
+    assert kids1 == kids2
+    # Two spawns from one parent advance the parent: distinct streams.
+    parent = np.random.default_rng(0)
+    c1, c2 = spawn_rng(parent), spawn_rng(parent)
+    assert c1.normal(size=4).tolist() != c2.normal(size=4).tolist()
+
+
+# ---------------------------------------------------------------------------
+# component seeded paths are bit-identical
+
+
+def test_phase_detector_seeded_noise_is_bit_identical():
+    phase = np.linspace(0.0, 6.0, 97)
+    det_a = PhaseDetector(modulus=31, noise_std=0.05, rng=42)
+    det_b = PhaseDetector(modulus=31, noise_std=0.05, rng=42)
+    out_a = det_a.detect_level(phase)
+    out_b = det_b.detect_level(phase)
+    assert np.array_equal(out_a, out_b)
+    # Raw phase estimates too, not just post-ADC levels.
+    assert np.array_equal(
+        PhaseDetector(modulus=31, noise_std=0.05, use_adc=False,
+                      rng=42).detect_phase(phase),
+        PhaseDetector(modulus=31, noise_std=0.05, use_adc=False,
+                      rng=42).detect_phase(phase),
+    )
+
+
+def test_phase_detector_accepts_generator_and_none():
+    phase = np.linspace(0.0, 6.0, 33)
+    gen = np.random.default_rng(3)
+    det = PhaseDetector(modulus=31, noise_std=0.05, rng=gen)
+    assert det.rng is gen
+    # rng=None (documented nondeterministic opt-in) still works.
+    out = PhaseDetector(modulus=31, noise_std=0.05).detect_level(phase)
+    assert out.shape == phase.shape
+
+
+def test_mmu_seeded_phase_error_is_bit_identical():
+    rng = np.random.default_rng(11)
+    x = rng.integers(0, 31, size=64)
+    w = rng.integers(0, 31, size=64)
+    out_a = MMU(31, phase_error_std=0.02, rng=7).multiply(x, w)
+    out_b = MMU(31, phase_error_std=0.02, rng=7).multiply(x, w)
+    assert np.array_equal(out_a, out_b)
+
+
+def test_rns_mmvmu_seeded_noise_is_bit_identical():
+    mset = ModuliSet((31, 32))
+    g, v = 4, 3
+    data = np.random.default_rng(1)
+    w = np.stack([data.integers(0, m, size=(v, g)) for m in mset.moduli])
+    x = np.stack([data.integers(0, m, size=(g,)) for m in mset.moduli])
+    noise = NoiseModel(phase_error_std=0.01, detector_noise_std=0.02)
+
+    def run(seed):
+        return RnsMMVMU(mset, g, v, noise, rng=seed).mvm(w, x)
+
+    assert np.array_equal(run(99), run(99))
+    # rng=None opt-in still produces valid residues.
+    out = RnsMMVMU(mset, g, v, noise).mvm(w, x)
+    assert out.shape == (mset.n, v)
+    for i, m in enumerate(mset.moduli):
+        assert out[i].min() >= 0 and out[i].max() < m
+
+
+def test_fault_tolerant_core_seeded_matmul_is_bit_identical():
+    noise = NoiseModel(phase_error_std=0.02, detector_noise_std=0.05)
+    data = np.random.default_rng(2)
+    w = data.standard_normal((6, 8)).astype(np.float64)
+    x = data.standard_normal((8, 5)).astype(np.float64)
+
+    def run(seed):
+        core = FaultTolerantCore(
+            bm=4, g=8, v=6, noise=noise, rng=np.random.default_rng(seed)
+        )
+        return core.matmul(w, x)
+
+    assert np.array_equal(run(21), run(21))
+
+
+def test_fault_tolerant_core_seed_changes_noise():
+    noise = NoiseModel(phase_error_std=0.15, detector_noise_std=0.3)
+    data = np.random.default_rng(2)
+    w = data.standard_normal((6, 8))
+    x = data.standard_normal((8, 5))
+    outs = set()
+    for seed in (1, 2, 3):
+        core = FaultTolerantCore(
+            bm=4, g=8, v=6, noise=noise, rng=np.random.default_rng(seed)
+        )
+        outs.add(core.matmul(w, x).tobytes())
+    assert len(outs) > 1  # noise that strong must differ across seeds
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_int_seed_equivalent_to_generator_seed(seed):
+    phase = np.linspace(0.0, 6.0, 50)
+    via_int = PhaseDetector(modulus=31, noise_std=0.05,
+                            rng=seed).detect_phase(phase)
+    via_gen = PhaseDetector(
+        modulus=31, noise_std=0.05, rng=np.random.default_rng(seed)
+    ).detect_phase(phase)
+    assert np.array_equal(via_int, via_gen)
