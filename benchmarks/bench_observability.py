@@ -25,10 +25,22 @@ Gates (the ISSUE bar):
 * **bounded overhead** — best-of-3 wall-clock of the fully traced run
   is <= 1.25x the untraced (``Observability(tracing=False)``) run, and
   tracing does not perturb the simulation (identical makespan and
-  session count).
+  session count);
+* **bit-exact critical path** — every completed session's per-phase
+  latency breakdown (:func:`~repro.serve.session_breakdown`) sums
+  *bit-exactly* to its enqueue→retire interval (``residual_s == 0.0``),
+  and the fleet rollup reports every session exact;
+* **replay diff is empty** — :func:`~repro.serve.export_run` of two
+  seeded replays serializes byte-identically, ``diff_runs`` reports
+  zero changes, and the ``python -m repro.serve.observability.diff``
+  CLI exits 0 on the pair — while a perturbed-config run (half the
+  batch size) makes the CLI exit 1;
+* **bounded analysis overhead** — building every analysis artifact
+  (per-session breakdowns, fleet rollup, both exports, the diff and
+  the flight report) costs <= 0.10x the traced run's wall-clock.
 
 ``REPRO_SMOKE=1`` (the default test tier, see the root conftest) runs a
-tiny-trace fast pass of every gate except the wall-clock ratio (too
+tiny-trace fast pass of every gate except the wall-clock ratios (too
 noisy at micro scale) without touching the committed JSON.
 
 Run:  REPRO_FULL=1 PYTHONPATH=src python -m pytest benchmarks/bench_observability.py -s
@@ -36,6 +48,9 @@ Run:  REPRO_FULL=1 PYTHONPATH=src python -m pytest benchmarks/bench_observabilit
 
 import json
 import os
+import subprocess
+import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -56,8 +71,13 @@ from repro.serve import (
     TokenServingEngine,
     decode_scenario,
     default_windows,
+    diff_runs,
+    fleet_rollup,
     parse_prometheus_text,
+    report_to_markdown,
+    session_breakdown,
 )
+from repro.serve.observability.diff import run_to_json
 
 SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
 pytestmark = [] if SMOKE else [pytest.mark.slow]
@@ -81,6 +101,7 @@ SEED_TRAFFIC = 11
 SEED_RUN = 5
 SEED_STORM = 23
 OVERHEAD_BUDGET = 1.25
+ANALYSIS_BUDGET = 0.10
 SLO_OBJECTIVE = 0.95
 
 
@@ -96,9 +117,9 @@ def _profile():
     )
 
 
-def _engine(observability=None, health=None):
+def _engine(observability=None, health=None, max_batch=MAX_BATCH):
     config = EngineConfig(
-        max_batch_size=MAX_BATCH,
+        max_batch_size=max_batch,
         block_tokens=BLOCK_TOKENS,
         kv_fraction=KV_FRACTION,
         recovery=True,
@@ -151,13 +172,14 @@ def _observability(makespan):
     return Observability(tracing=True, slo=slo)
 
 
-def _traced_run(scenario, plan, health, makespan, tracing=True):
+def _traced_run(scenario, plan, health, makespan, tracing=True,
+                max_batch=MAX_BATCH):
     obs = (
         _observability(makespan)
         if tracing
         else Observability(tracing=False)
     )
-    engine = _engine(observability=obs, health=health)
+    engine = _engine(observability=obs, health=health, max_batch=max_batch)
     start = time.perf_counter()
     telemetry = engine.run(scenario, seed=SEED_RUN, faults=plan)
     elapsed = time.perf_counter() - start
@@ -248,9 +270,96 @@ def test_observability_storm():
         f"slo events={slo_events} alerts={len(obs.slo.alerts_fired)}"
     )
 
+    # Gate (f): every completed session's phase decomposition sums
+    # bit-exactly to its enqueue->retire interval — the exact-rational
+    # critical-path property, end to end through the storm.
+    for s in telemetry.sessions:
+        breakdown = session_breakdown(tracer, s)
+        assert breakdown["exact"], (
+            f"session {s.session_id} phase sums leave residual "
+            f"{breakdown['residual_s']!r} s"
+        )
+        assert breakdown["residual_s"] == 0.0
+    rollup = fleet_rollup(tracer, telemetry.sessions)
+    assert rollup["exact_sessions"] == rollup["sessions"] == len(
+        telemetry.sessions
+    )
+
+    # Gate (g): export/diff replay determinism.  The two replays export
+    # byte-identically, diff to zero changes, and the CLI agrees (exit
+    # 0); a perturbed-config run must flip the CLI to exit 1.  The
+    # export/diff pass is timed: together with the flight report below
+    # it is the analysis cost gate (h) budgets.
+    export_config = {
+        "scenario": scenario.name,
+        "seed": SEED_RUN,
+        "max_batch_size": MAX_BATCH,
+    }
+    analysis_start = time.perf_counter()
+    export_a = obs.export(config=export_config, sessions=telemetry.sessions)
+    export_b = obs2.export(config=export_config, sessions=telemetry2.sessions)
+    json_a = run_to_json(export_a)
+    json_b = run_to_json(export_b)
+    replay_diff = diff_runs(export_a, export_b)
+    analysis_s = time.perf_counter() - analysis_start
+    assert json_a == json_b, (
+        "seeded replays exported different run documents"
+    )
+    assert replay_diff["changes"] == []
+    assert not replay_diff["regression"]
+
+    perturbed_batch = max(1, MAX_BATCH // 2)
+    obs3, _, telemetry3, _ = _traced_run(
+        scenario, plan, health, makespan, max_batch=perturbed_batch
+    )
+    export_c = obs3.export(
+        config=dict(export_config, max_batch_size=perturbed_batch),
+        sessions=telemetry3.sessions,
+    )
+    perturbed_diff = diff_runs(export_a, export_c)
+    assert perturbed_diff["regression"], (
+        "halving max_batch_size must not diff clean"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro_bench_obs_") as tmp:
+        tmp_path = Path(tmp)
+        (tmp_path / "a.json").write_text(json_a)
+        (tmp_path / "b.json").write_text(run_to_json(export_b))
+        (tmp_path / "c.json").write_text(run_to_json(export_c))
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ, PYTHONPATH=str(repo / "src"))
+
+        def _diff_cli(run_x, run_y):
+            return subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.serve.observability.diff",
+                    str(tmp_path / run_x),
+                    str(tmp_path / run_y),
+                ],
+                capture_output=True,
+                text=True,
+                env=env,
+            )
+
+        clean = _diff_cli("a.json", "b.json")
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+        assert "0 regression(s)" in clean.stdout
+        dirty = _diff_cli("a.json", "c.json")
+        assert dirty.returncode == 1, dirty.stdout + dirty.stderr
+
+    print(
+        f"  critical path: {rollup['exact_sessions']}/{rollup['sessions']} "
+        f"sessions bit-exact; replay diff clean over "
+        f"{replay_diff['compared']} leaves; perturbed diff flags "
+        f"{len(perturbed_diff['regressions'])} regression(s) "
+        f"+ config drift (CLI exits 0/1)"
+    )
+
     if SMOKE:
         # Wall-clock ratios are meaningless at smoke scale; the full
-        # tier owns gate (d).
+        # tier owns gates (d) and (h).
         return
 
     # Gate (d): tracing overhead bounded.  Best-of-3 on each side — the
@@ -272,6 +381,32 @@ def test_observability_storm():
     assert overhead <= OVERHEAD_BUDGET, (
         f"tracing overhead {overhead:.3f}x exceeds {OVERHEAD_BUDGET}x"
     )
+
+    # Gate (h): the whole analysis layer (breakdowns, rollup, exports,
+    # diff, flight report) stays a small fraction of the traced run.
+    report_start = time.perf_counter()
+    report = obs.flight_report(
+        name="observability bench storm",
+        config=export_config,
+        telemetry=telemetry,
+        profile=engine.profile,
+        accelerator=engine.service.accelerator,
+        now=telemetry.makespan(),
+    )
+    report_md = report_to_markdown(report)
+    analysis_s += time.perf_counter() - report_start
+    analysis_ratio = analysis_s / traced_best
+    print(
+        f"  analysis: {analysis_s * 1e3:.1f} ms on a "
+        f"{traced_best * 1e3:.1f} ms traced run -> {analysis_ratio:.3f}x "
+        f"(budget {ANALYSIS_BUDGET}x)"
+    )
+    assert analysis_ratio <= ANALYSIS_BUDGET, (
+        f"analysis overhead {analysis_ratio:.3f}x exceeds {ANALYSIS_BUDGET}x"
+    )
+
+    repo_root = Path(__file__).resolve().parents[1]
+    (repo_root / "BENCH_observability_flight.md").write_text(report_md)
 
     payload = {
         "config": {
@@ -299,6 +434,19 @@ def test_observability_storm():
         "replay_byte_identical": True,
         "slo": obs.slo.summary(telemetry.makespan()),
         "overhead_ratio": round(overhead, 4),
+        "critical_path": {
+            "sessions": rollup["sessions"],
+            "exact_sessions": rollup["exact_sessions"],
+            "phase_shares": rollup["phase_shares"],
+        },
+        "replay_diff": {
+            "compared": replay_diff["compared"],
+            "changes": len(replay_diff["changes"]),
+            "regression": replay_diff["regression"],
+        },
+        "perturbed_diff_regressions": len(perturbed_diff["regressions"]),
+        "analysis_overhead_ratio": round(analysis_ratio, 4),
+        "analysis_budget": ANALYSIS_BUDGET,
     }
-    out_path = Path(__file__).resolve().parents[1] / "BENCH_observability.json"
+    out_path = repo_root / "BENCH_observability.json"
     out_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -22,48 +22,49 @@ from repro.photonic import (
 )
 
 MODULUS, G = 33, 16
-rng = np.random.default_rng(3)
+def main():
+    rng = np.random.default_rng(3)
 
-# ----------------------------------------------------------------------
-# Part 1: fabricate -> measure -> calibrate -> measure again.
-# ----------------------------------------------------------------------
-variation = VariationModel(dac_bits=8, mrr_rel_error=0.01,
-                           ps_rel_bias_std=0.02, seed=11)
-mdpu = VariedMDPU(MODULUS, G, variation)
-x = rng.integers(0, MODULUS, size=(400, G))
-w = rng.integers(0, MODULUS, size=(400, G))
-exact = mdpu.exact(x, w)
+    # ----------------------------------------------------------------------
+    # Part 1: fabricate -> measure -> calibrate -> measure again.
+    # ----------------------------------------------------------------------
+    variation = VariationModel(dac_bits=8, mrr_rel_error=0.01,
+                               ps_rel_bias_std=0.02, seed=11)
+    mdpu = VariedMDPU(MODULUS, G, variation)
+    x = rng.integers(0, MODULUS, size=(400, G))
+    w = rng.integers(0, MODULUS, size=(400, G))
+    exact = mdpu.exact(x, w)
 
-print(f"fabricated MDPU (m={MODULUS}, g={G}): "
-      f"{np.mean(mdpu.dot(x, w) != exact):.1%} of dot products wrong")
+    print(f"fabricated MDPU (m={MODULUS}, g={G}): "
+          f"{np.mean(mdpu.dot(x, w) != exact):.1%} of dot products wrong")
 
-for mode, label in (("per_mmu", "per-MMU voltage correction only"),
-                    ("per_digit", "per-digit trim + closed-loop refine")):
-    table = characterize(mdpu, mode=mode, measurement_noise=0.005,
-                         repeats=3, seed=1)
-    err = np.mean(CalibratedMDPU(mdpu, table).dot(x, w) != exact)
-    print(f"  {label:<38}: {err:.1%} wrong  ({table.probes} probe reads)")
+    for mode, label in (("per_mmu", "per-MMU voltage correction only"),
+                        ("per_digit", "per-digit trim + closed-loop refine")):
+        table = characterize(mdpu, mode=mode, measurement_noise=0.005,
+                             repeats=3, seed=1)
+        err = np.mean(CalibratedMDPU(mdpu, table).dot(x, w) != exact)
+        print(f"  {label:<38}: {err:.1%} wrong  ({table.probes} probe reads)")
 
-# End to end: a whole tensor core built from varied devices, calibrated.
-from repro.bfp import BFPConfig
-from repro.bfp.gemm import bfp_matmul_exact
-from repro.core import CoreConfig, FabricatedTensorCore
+    # End to end: a whole tensor core built from varied devices, calibrated.
+    from repro.bfp import BFPConfig
+    from repro.bfp.gemm import bfp_matmul_exact
+    from repro.core import CoreConfig, FabricatedTensorCore
 
-cfg = CoreConfig(bm=4, g=8, v=8, k=5)
-w_mat, x_mat = rng.normal(size=(20, 40)), rng.normal(size=(40, 3))
-reference = bfp_matmul_exact(w_mat, x_mat, BFPConfig(cfg.bm, cfg.g))
-raw_core = FabricatedTensorCore(cfg, variation, calibrate=None)
-cal_core = FabricatedTensorCore(cfg, variation, calibrate="per_digit",
-                                measurement_noise=0.002, repeats=2,
-                                refine_iters=1)
-raw_err = np.abs(raw_core.matmul(w_mat, x_mat) - reference).max()
-print(f"\nfull tensor core on these devices, uncalibrated: "
-      f"GEMM max error {raw_err:.1f}")
-print(f"same core, calibrated: bit-exact vs BFP reference = "
-      f"{np.array_equal(cal_core.matmul(w_mat, x_mat), reference)} "
-      f"({cal_core.calibration_probes} probe reads)")
+    cfg = CoreConfig(bm=4, g=8, v=8, k=5)
+    w_mat, x_mat = rng.normal(size=(20, 40)), rng.normal(size=(40, 3))
+    reference = bfp_matmul_exact(w_mat, x_mat, BFPConfig(cfg.bm, cfg.g))
+    raw_core = FabricatedTensorCore(cfg, variation, calibrate=None)
+    cal_core = FabricatedTensorCore(cfg, variation, calibrate="per_digit",
+                                    measurement_noise=0.002, repeats=2,
+                                    refine_iters=1)
+    raw_err = np.abs(raw_core.matmul(w_mat, x_mat) - reference).max()
+    print(f"\nfull tensor core on these devices, uncalibrated: "
+          f"GEMM max error {raw_err:.1f}")
+    print(f"same core, calibrated: bit-exact vs BFP reference = "
+          f"{np.array_equal(cal_core.matmul(w_mat, x_mat), reference)} "
+          f"({cal_core.calibration_probes} probe reads)")
 
-print("""
+    print("""
 The shared-voltage knob cannot remove per-digit MRR detuning; per-digit
 trimmers plus a closed-loop pass at full drive push the error to zero.
 The refinement stage matters because a segment's unwrapped drive reaches
@@ -72,20 +73,24 @@ gain to the 1e-4 relative accuracy the phase budget needs, but probing
 *through* the corrections at full drive can (the residual is already
 inside +-pi).\n""")
 
-# ----------------------------------------------------------------------
-# Part 2: which phase-shifter technology can host this design?
-# ----------------------------------------------------------------------
-print(f"{'technology':<13} {'MMU mm':>7} {'loss dB':>8} {'tile ovh':>9} "
-      f"{'heater mW':>10} {'xtalk err':>10}")
-for row in technology_comparison(modulus=MODULUS, g=G, trials=200):
-    print(f"{row['technology']:<13} {row['mmu_length_mm']:>7.2f} "
-          f"{row['mmu_loss_db']:>8.2f} {row['tile_load_overhead']:>9.1%} "
-          f"{row['static_power_mw_per_mmu']:>10.0f} "
-          f"{row['crosstalk_error_rate']:>10.1%}")
+    # ----------------------------------------------------------------------
+    # Part 2: which phase-shifter technology can host this design?
+    # ----------------------------------------------------------------------
+    print(f"{'technology':<13} {'MMU mm':>7} {'loss dB':>8} {'tile ovh':>9} "
+          f"{'heater mW':>10} {'xtalk err':>10}")
+    for row in technology_comparison(modulus=MODULUS, g=G, trials=200):
+        print(f"{row['technology']:<13} {row['mmu_length_mm']:>7.2f} "
+              f"{row['mmu_loss_db']:>8.2f} {row['tile_load_overhead']:>9.1%} "
+              f"{row['static_power_mw_per_mmu']:>10.0f} "
+              f"{row['crosstalk_error_rate']:>10.1%}")
 
-print("""
+    print("""
 Thermo-optic heaters stall every tile load (KHz bandwidth) and leak
 phase into neighbours; free-carrier shifters reprogram in nanoseconds
 but cost tens of mm and tens of dB per MMU.  NOEMS + MRR gating keeps
 the MMU at 0.57 mm / <1 dB with negligible static power — the paper's
 Section II-E1 design choice.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,68 +12,73 @@ from repro.analysis import print_table
 from repro.arch import mac_energy_breakdown, workload, workload_names, workload_utilization
 from repro.rns import choose_k_min, required_output_bits, special_moduli_set
 
-# ----------------------------------------------------------------------
-# 1. Eq. 13: which special moduli set does each (bm, g) need?
-# ----------------------------------------------------------------------
-rows = []
-for bm in (3, 4, 5):
-    for g in (8, 16, 32, 64):
-        k = choose_k_min(bm, g)
-        mset = special_moduli_set(k)
-        rows.append((bm, g, required_output_bits(bm, g), k,
-                     str(mset.moduli), f"{mset.dynamic_range_bits:.2f}"))
-print_table(
-    ["bm", "g", "output bits (Eq.13)", "k_min", "moduli", "log2 M"],
-    rows,
-    title="Moduli sizing: smallest {2^k-1, 2^k, 2^k+1} satisfying Eq. 13",
-)
+def main():
+    # ----------------------------------------------------------------------
+    # 1. Eq. 13: which special moduli set does each (bm, g) need?
+    # ----------------------------------------------------------------------
+    rows = []
+    for bm in (3, 4, 5):
+        for g in (8, 16, 32, 64):
+            k = choose_k_min(bm, g)
+            mset = special_moduli_set(k)
+            rows.append((bm, g, required_output_bits(bm, g), k,
+                         str(mset.moduli), f"{mset.dynamic_range_bits:.2f}"))
+    print_table(
+        ["bm", "g", "output bits (Eq.13)", "k_min", "moduli", "log2 M"],
+        rows,
+        title="Moduli sizing: smallest {2^k-1, 2^k, 2^k+1} satisfying Eq. 13",
+    )
 
-# ----------------------------------------------------------------------
-# 2. Fig. 5b: energy per MAC across the (bm, g) plane.
-# ----------------------------------------------------------------------
-print()
-rows = []
-for bm in (3, 4, 5):
-    for g in (8, 16, 32):
-        parts = mac_energy_breakdown(bm, g)
-        total = sum(parts.values()) * 1e12
-        rows.append((bm, g, total, parts["laser"] * 1e12, parts["tia"] * 1e12))
-print_table(
-    ["bm", "g", "total pJ/MAC", "laser pJ", "TIA pJ"],
-    rows,
-    title="Energy per MAC (paper picks bm=4, g=16 as the accurate minimum)",
-)
+    # ----------------------------------------------------------------------
+    # 2. Fig. 5b: energy per MAC across the (bm, g) plane.
+    # ----------------------------------------------------------------------
+    print()
+    rows = []
+    for bm in (3, 4, 5):
+        for g in (8, 16, 32):
+            parts = mac_energy_breakdown(bm, g)
+            total = sum(parts.values()) * 1e12
+            rows.append((bm, g, total, parts["laser"] * 1e12, parts["tia"] * 1e12))
+    print_table(
+        ["bm", "g", "total pJ/MAC", "laser pJ", "TIA pJ"],
+        rows,
+        title="Energy per MAC (paper picks bm=4, g=16 as the accurate minimum)",
+    )
 
-# ----------------------------------------------------------------------
-# 3. Fig. 6: utilisation vs geometry; the 16x32 x 8-array choice.
-# ----------------------------------------------------------------------
-print()
-rows = []
-for v in (16, 32, 64, 128):
-    row = [f"16x{v}"]
-    for name in workload_names():
-        row.append(100.0 * workload_utilization(workload(name), v, 16, 1))
-    rows.append(tuple(row))
-print_table(
-    ["MMVMU size"] + workload_names(),
-    rows,
-    title="Spatial utilisation (%) vs MDPU count (utilisation drops past 32)",
-    float_fmt="{:.0f}",
-)
+    # ----------------------------------------------------------------------
+    # 3. Fig. 6: utilisation vs geometry; the 16x32 x 8-array choice.
+    # ----------------------------------------------------------------------
+    print()
+    rows = []
+    for v in (16, 32, 64, 128):
+        row = [f"16x{v}"]
+        for name in workload_names():
+            row.append(100.0 * workload_utilization(workload(name), v, 16, 1))
+        rows.append(tuple(row))
+    print_table(
+        ["MMVMU size"] + workload_names(),
+        rows,
+        title="Spatial utilisation (%) vs MDPU count (utilisation drops past 32)",
+        float_fmt="{:.0f}",
+    )
 
-print()
-rows = []
-for arrays in (4, 8, 16, 32):
-    row = [arrays]
-    for name in workload_names():
-        row.append(100.0 * workload_utilization(workload(name), 32, 16, arrays))
-    rows.append(tuple(row))
-print_table(
-    ["#arrays"] + workload_names(),
-    rows,
-    title="Spatial utilisation (%) vs RNS-MMVMU count (drops past 8)",
-    float_fmt="{:.0f}",
-)
+    print()
+    rows = []
+    for arrays in (4, 8, 16, 32):
+        row = [arrays]
+        for name in workload_names():
+            row.append(100.0 * workload_utilization(workload(name), 32, 16, arrays))
+        rows.append(tuple(row))
+    print_table(
+        ["#arrays"] + workload_names(),
+        rows,
+        title="Spatial utilisation (%) vs RNS-MMVMU count (drops past 8)",
+        float_fmt="{:.0f}",
+    )
 
-print("\nchosen design point: bm=4, g=16, MMVMU 16x32, 8 RNS-MMVMUs "
-      "(matches the paper's Section VI-A conclusion)")
+    print("\nchosen design point: bm=4, g=16, MMVMU 16x32, 8 RNS-MMVMUs "
+          "(matches the paper's Section VI-A conclusion)")
+
+
+if __name__ == "__main__":
+    main()

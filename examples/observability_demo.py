@@ -26,10 +26,19 @@ every recorded engine step with the analytic ``arch.inference`` model
 and splits the busy time into reprogram/stream/attention components —
 asserting the reconstruction matches the recorded floats *bit-for-bit*.
 
+The analysis layer then turns the recorded run into artifacts::
+
+    obs.export()                       # -> diffable run snapshot
+    diff_runs(a, b)                    # -> leaf-by-leaf regression diff
+    obs.flight_report(...)             # -> deterministic flight report
+
 This script replays a small replica-kill + RRNS-transient storm with
 tracing on, writes the Chrome trace (load it at https://ui.perfetto.dev)
-and the Prometheus dump to a temp directory, and prints the session
-timeline of one recovered session plus the top-10 attribution rows.
+and the Prometheus dump to a temp directory, prints the session
+timeline of one recovered session plus the top-10 attribution rows,
+then builds the critical-path flight report and self-diffs the run's
+export against itself (zero deltas — the replay-determinism property
+``benchmarks/bench_observability.py`` gates across two real replays).
 """
 
 import json
@@ -50,7 +59,9 @@ from repro.serve import (
     SLOTracker,
     TokenServingEngine,
     default_windows,
+    diff_runs,
     parse_prometheus_text,
+    report_to_markdown,
 )
 from repro.serve.traffic import Scenario
 
@@ -173,6 +184,43 @@ def main():
             k: round(v["error_rate"], 3) if v["error_rate"] is not None else None
             for k, v in slo["keys"].items()
         })
+    )
+
+    # Critical-path flight report: every completed session's phase sums
+    # telescope to its enqueue->retire interval bit-exactly.
+    report = obs.flight_report(
+        name="storm demo",
+        config={"scenario": scenario.name, "seed": 1, "replicas": 3},
+        telemetry=telemetry,
+        profile=engine.profile,
+        accelerator=engine.service.accelerator,
+        now=telemetry.makespan(),
+    )
+    rollup = report["critical_path"]
+    report_path = out_dir / "flight_report.md"
+    report_path.write_text(report_to_markdown(report))
+    print(
+        f"\nflight report: {rollup['sessions']} sessions, "
+        f"{rollup['exact_sessions']} bit-exact phase decompositions, "
+        f"dominant phases by share "
+        + str({
+            p: round(rollup["phase_shares"][p], 3)
+            for p in ("prefill", "decode", "stall")
+        })
+        + f" -> {report_path}"
+    )
+
+    # Self-diff: a run export diffed against itself is all-zero — the
+    # property the bench checks across two genuinely separate replays.
+    export = obs.export(
+        config={"scenario": scenario.name, "seed": 1},
+        sessions=telemetry.sessions,
+    )
+    self_diff = diff_runs(export, export)
+    print(
+        f"self-diff: {len(self_diff['changes'])} change(s) over "
+        f"{self_diff['compared']} compared leaves, "
+        f"regression={self_diff['regression']}"
     )
 
 

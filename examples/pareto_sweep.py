@@ -11,30 +11,35 @@ Run:  python examples/pareto_sweep.py
 from repro.analysis import print_table
 from repro.arch import default_design_space, pareto_frontier, sweep_designs
 
-space = default_design_space()
-print(f"sweeping bm={space['bm']}, g={space['g']}, v={space['v']}, "
-      f"arrays={space['num_arrays']} over all seven workloads...\n")
+def main():
+    space = default_design_space()
+    print(f"sweeping bm={space['bm']}, g={space['g']}, v={space['v']}, "
+          f"arrays={space['num_arrays']} over all seven workloads...\n")
 
-points = sweep_designs(space)
-accurate = [p for p in points if p.accurate]
-frontier = pareto_frontier(points)
+    points = sweep_designs(space)
+    accurate = [p for p in points if p.accurate]
+    frontier = pareto_frontier(points)
 
-print(f"{len(points)} feasible configurations, {len(accurate)} meet the "
-      f"Fig. 5a accuracy bar, {len(frontier)} on the Pareto frontier:\n")
+    print(f"{len(points)} feasible configurations, {len(accurate)} meet the "
+          f"Fig. 5a accuracy bar, {len(frontier)} on the Pareto frontier:\n")
 
-print_table(
-    ["bm", "g", "v", "#arrays", "k", "pJ/MAC", "area mm2", "peak W",
-     "utilisation", "eff. TMAC/s"],
-    [
-        (p.bm, p.g, p.v, p.num_arrays, p.k,
-         p.energy_per_mac * 1e12, p.area / 1e-6, p.peak_power,
-         p.utilization, p.effective_macs_per_s / 1e12)
-        for p in frontier
-    ],
-    title="Pareto frontier (energy/MAC v, area v, effective throughput ^)",
-    float_fmt="{:.3g}",
-)
+    print_table(
+        ["bm", "g", "v", "#arrays", "k", "pJ/MAC", "area mm2", "peak W",
+         "utilisation", "eff. TMAC/s"],
+        [
+            (p.bm, p.g, p.v, p.num_arrays, p.k,
+             p.energy_per_mac * 1e12, p.area / 1e-6, p.peak_power,
+             p.utilization, p.effective_macs_per_s / 1e12)
+            for p in frontier
+        ],
+        title="Pareto frontier (energy/MAC v, area v, effective throughput ^)",
+        float_fmt="{:.3g}",
+    )
 
-paper = [p for p in frontier if (p.bm, p.g, p.v, p.num_arrays) == (4, 16, 32, 8)]
-print(f"\npaper design point bm=4, g=16, 16x32, 8 arrays on frontier: "
-      f"{'yes' if paper else 'no'}")
+    paper = [p for p in frontier if (p.bm, p.g, p.v, p.num_arrays) == (4, 16, 32, 8)]
+    print(f"\npaper design point bm=4, g=16, 16x32, 8 arrays on frontier: "
+          f"{'yes' if paper else 'no'}")
+
+
+if __name__ == "__main__":
+    main()

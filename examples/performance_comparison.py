@@ -10,35 +10,40 @@ Run:  python examples/performance_comparison.py
 from repro.analysis import print_table
 from repro.arch import MirageAccelerator, compare_workload, table3_rows
 
-acc = MirageAccelerator()
-print(f"Mirage: {acc.config.num_arrays} RNS-MMVMUs of "
-      f"{acc.config.g}x{acc.config.v}, k={acc.config.k} "
-      f"(moduli {acc.config.moduli.moduli})")
-print(f"energy/MAC = {acc.energy_per_mac * 1e12:.3f} pJ, "
-      f"total area = {acc.total_area / 1e-6:.1f} mm2\n")
+def main():
+    acc = MirageAccelerator()
+    print(f"Mirage: {acc.config.num_arrays} RNS-MMVMUs of "
+          f"{acc.config.g}x{acc.config.v}, k={acc.config.k} "
+          f"(moduli {acc.config.moduli.moduli})")
+    print(f"energy/MAC = {acc.energy_per_mac * 1e12:.3f} pJ, "
+          f"total area = {acc.total_area / 1e-6:.1f} mm2\n")
 
-for name in ("ResNet50", "Transformer"):
-    res = compare_workload(name, acc)
-    mirage = res["mirage"]
-    print(f"=== {name}: Mirage step {mirage.runtime_s * 1e3:.2f} ms, "
-          f"{mirage.energy_j:.3f} J, power {mirage.power_w:.1f} W ===")
-    rows = [
-        (r.fmt, r.scenario, r.num_arrays, r.runtime_ratio, r.edp_ratio,
-         1.0 / r.power_ratio)
-        for r in res["rows"]
-    ]
+    for name in ("ResNet50", "Transformer"):
+        res = compare_workload(name, acc)
+        mirage = res["mirage"]
+        print(f"=== {name}: Mirage step {mirage.runtime_s * 1e3:.2f} ms, "
+              f"{mirage.energy_j:.3f} J, power {mirage.power_w:.1f} W ===")
+        rows = [
+            (r.fmt, r.scenario, r.num_arrays, r.runtime_ratio, r.edp_ratio,
+             1.0 / r.power_ratio)
+            for r in res["rows"]
+        ]
+        print_table(
+            ["format", "scenario", "#SA arrays", "runtime SA/Mirage",
+             "EDP SA/Mirage", "power Mirage/SA"],
+            rows,
+            float_fmt="{:.3g}",
+        )
+        print()
+
+    print("Inference (Table III):")
     print_table(
-        ["format", "scenario", "#SA arrays", "runtime SA/Mirage",
-         "EDP SA/Mirage", "power Mirage/SA"],
-        rows,
-        float_fmt="{:.3g}",
+        ["accelerator", "model", "IPS", "IPS/W", "IPS/mm2"],
+        [(a, m, i, w, mm if mm is not None else float("nan"))
+         for a, m, i, w, mm in table3_rows(acc)],
+        float_fmt="{:.5g}",
     )
-    print()
 
-print("Inference (Table III):")
-print_table(
-    ["accelerator", "model", "IPS", "IPS/W", "IPS/mm2"],
-    [(a, m, i, w, mm if mm is not None else float("nan"))
-     for a, m, i, w, mm in table3_rows(acc)],
-    float_fmt="{:.5g}",
-)
+
+if __name__ == "__main__":
+    main()

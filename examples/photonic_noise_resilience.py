@@ -18,59 +18,64 @@ from repro.nn import Linear, ReLU, Sequential, Tensor, cross_entropy, SGD
 from repro.photonic import NoiseModel, min_dac_bits
 from repro.rns import RRNSCodec
 
-rng = np.random.default_rng(1)
+def main():
+    rng = np.random.default_rng(1)
 
-# ----------------------------------------------------------------------
-# 1. Train a small MLP, then run it on the noisy photonic core.
-# ----------------------------------------------------------------------
-n, dim, classes = 240, 24, 4
-centers = rng.normal(scale=2.0, size=(classes, dim))
-labels = rng.integers(0, classes, size=n)
-inputs = centers[labels] + rng.normal(scale=0.8, size=(n, dim))
+    # ----------------------------------------------------------------------
+    # 1. Train a small MLP, then run it on the noisy photonic core.
+    # ----------------------------------------------------------------------
+    n, dim, classes = 240, 24, 4
+    centers = rng.normal(scale=2.0, size=(classes, dim))
+    labels = rng.integers(0, classes, size=n)
+    inputs = centers[labels] + rng.normal(scale=0.8, size=(n, dim))
 
-model = Sequential(Linear(dim, 32, rng=rng), ReLU(), Linear(32, classes, rng=rng))
-opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
-for _ in range(60):
-    opt.zero_grad()
-    loss = cross_entropy(model(Tensor(inputs)), labels)
-    loss.backward()
-    opt.step()
-digital_acc = float(np.mean(model(Tensor(inputs)).data.argmax(-1) == labels))
-print(f"digital FP accuracy: {100 * digital_acc:.1f}%\n")
+    model = Sequential(Linear(dim, 32, rng=rng), ReLU(), Linear(32, classes, rng=rng))
+    opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+    for _ in range(60):
+        opt.zero_grad()
+        loss = cross_entropy(model(Tensor(inputs)), labels)
+        loss.backward()
+        opt.step()
+    digital_acc = float(np.mean(model(Tensor(inputs)).data.argmax(-1) == labels))
+    print(f"digital FP accuracy: {100 * digital_acc:.1f}%\n")
 
-print("detector SNR sweep (amplitude SNR at the I/Q detectors):")
-for snr in (1000.0, 200.0, 60.0, 40.0, 25.0, 15.0):
-    noise = NoiseModel.from_snr(snr)
-    stats = compare_with_reference(
-        model, inputs, CoreConfig(), noise, np.random.default_rng(7)
-    )
-    print(f"  SNR {snr:7.0f}: prediction agreement vs digital = "
-          f"{100 * stats['prediction_agreement']:5.1f}%,  "
-          f"max rel output error = {stats['max_rel_error']:.3f}")
-print("  (the paper sizes laser power for SNR > m = 33; below that, "
-      "phase levels merge)\n")
+    print("detector SNR sweep (amplitude SNR at the I/Q detectors):")
+    for snr in (1000.0, 200.0, 60.0, 40.0, 25.0, 15.0):
+        noise = NoiseModel.from_snr(snr)
+        stats = compare_with_reference(
+            model, inputs, CoreConfig(), noise, np.random.default_rng(7)
+        )
+        print(f"  SNR {snr:7.0f}: prediction agreement vs digital = "
+              f"{100 * stats['prediction_agreement']:5.1f}%,  "
+              f"max rel output error = {stats['max_rel_error']:.3f}")
+    print("  (the paper sizes laser power for SNR > m = 33; below that, "
+          "phase levels merge)\n")
 
-# ----------------------------------------------------------------------
-# 2. Eq. 14: minimum DAC bits per modulus (paper: 8 bits suffice).
-# ----------------------------------------------------------------------
-for m in (31, 32, 33):
-    bits = min_dac_bits(h=16, modulus=m, b_out=5)
-    print(f"modulus {m}: minimum DAC precision for 5-bit output = {bits} bits")
-print()
+    # ----------------------------------------------------------------------
+    # 2. Eq. 14: minimum DAC bits per modulus (paper: 8 bits suffice).
+    # ----------------------------------------------------------------------
+    for m in (31, 32, 33):
+        bits = min_dac_bits(h=16, modulus=m, b_out=5)
+        print(f"modulus {m}: minimum DAC precision for 5-bit output = {bits} bits")
+    print()
 
-# ----------------------------------------------------------------------
-# 3. RRNS: detect and correct corrupted residue channels.
-# ----------------------------------------------------------------------
-codec = RRNSCodec(info_moduli=(31, 32, 33), redundant_moduli=(37, 41))
-values = rng.integers(0, codec.legal_range, size=8)
-encoded = codec.encode(values)
-# Corrupt one random channel per element.
-corrupted = encoded.copy()
-for j in range(encoded.shape[1]):
-    ch = rng.integers(0, encoded.shape[0])
-    corrupted[ch, j] = (corrupted[ch, j] + rng.integers(1, 5)) % codec.full_set.moduli[ch]
-decoded, details = codec.decode(corrupted)
-fixed = sum(1 for d in details if d.ok and d.corrected_channels)
-print(f"RRNS({codec.info_moduli} + {codec.redundant_moduli}): corrected "
-      f"{fixed}/{len(values)} single-channel errors; "
-      f"values recovered exactly: {np.array_equal(decoded, values)}")
+    # ----------------------------------------------------------------------
+    # 3. RRNS: detect and correct corrupted residue channels.
+    # ----------------------------------------------------------------------
+    codec = RRNSCodec(info_moduli=(31, 32, 33), redundant_moduli=(37, 41))
+    values = rng.integers(0, codec.legal_range, size=8)
+    encoded = codec.encode(values)
+    # Corrupt one random channel per element.
+    corrupted = encoded.copy()
+    for j in range(encoded.shape[1]):
+        ch = rng.integers(0, encoded.shape[0])
+        corrupted[ch, j] = (corrupted[ch, j] + rng.integers(1, 5)) % codec.full_set.moduli[ch]
+    decoded, details = codec.decode(corrupted)
+    fixed = sum(1 for d in details if d.ok and d.corrected_channels)
+    print(f"RRNS({codec.info_moduli} + {codec.redundant_moduli}): corrected "
+          f"{fixed}/{len(values)} single-channel errors; "
+          f"values recovered exactly: {np.array_equal(decoded, values)}")
+
+
+if __name__ == "__main__":
+    main()

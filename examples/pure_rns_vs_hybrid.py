@@ -25,42 +25,46 @@ from repro.arch import (
     float_reference_forward,
 )
 
-rng = np.random.default_rng(7)
+def main():
+    rng = np.random.default_rng(7)
 
-# A small float-"trained" MLP (random weights suffice to show the
-# numeric behaviour; the benchmark harness uses actually-trained ones).
-layers = [
-    DenseLayer(rng.normal(0, 0.3, (32, 16)), rng.normal(0, 0.05, 32)),
-    DenseLayer(rng.normal(0, 0.3, (32, 32)), rng.normal(0, 0.05, 32)),
-    DenseLayer(rng.normal(0, 0.3, (8, 32)), rng.normal(0, 0.05, 8),
-               apply_activation=False),
-]
-x = rng.normal(0, 1.0, (16, 64))
-reference = float_reference_forward(layers, x)
+    # A small float-"trained" MLP (random weights suffice to show the
+    # numeric behaviour; the benchmark harness uses trained ones).
+    layers = [
+        DenseLayer(rng.normal(0, 0.3, (32, 16)), rng.normal(0, 0.05, 32)),
+        DenseLayer(rng.normal(0, 0.3, (32, 32)), rng.normal(0, 0.05, 32)),
+        DenseLayer(rng.normal(0, 0.3, (8, 32)), rng.normal(0, 0.05, 8),
+                   apply_activation=False),
+    ]
+    x = rng.normal(0, 1.0, (16, 64))
+    reference = float_reference_forward(layers, x)
 
-print(f"{'config':<26} {'pure err':>9} {'hybrid err':>10} "
-      f"{'rescales':>9} {'sign det.':>9} {'conversions':>11} {'wraps':>6}")
-for k, f in ((6, 5), (8, 7), (10, 9)):
-    cfg = PureRnsConfig(k=k, activation_frac_bits=f, weight_frac_bits=f)
-    pure_out, pure_ops = PureRnsNetwork(layers, cfg).forward(x)
-    hybrid_out, hybrid_ops = HybridRnsNetwork(layers, cfg).forward(x)
-    pure_err = np.abs(pure_out - reference).max()
-    hybrid_err = np.abs(hybrid_out - reference).max()
-    conv = hybrid_ops.forward_conversions + hybrid_ops.reverse_conversions
-    print(f"k={k} ({cfg.operand_bits}-bit residues)    "
-          f"{pure_err:>9.4f} {hybrid_err:>10.4f} {pure_ops.rescales:>9} "
-          f"{pure_ops.sign_detections:>9} {conv:>11} {pure_ops.overflows:>6}")
+    print(f"{'config':<26} {'pure err':>9} {'hybrid err':>10} "
+          f"{'rescales':>9} {'sign det.':>9} {'conversions':>11} {'wraps':>6}")
+    for k, f in ((6, 5), (8, 7), (10, 9)):
+        cfg = PureRnsConfig(k=k, activation_frac_bits=f, weight_frac_bits=f)
+        pure_out, pure_ops = PureRnsNetwork(layers, cfg).forward(x)
+        hybrid_out, hybrid_ops = HybridRnsNetwork(layers, cfg).forward(x)
+        pure_err = np.abs(pure_out - reference).max()
+        hybrid_err = np.abs(hybrid_out - reference).max()
+        conv = hybrid_ops.forward_conversions + hybrid_ops.reverse_conversions
+        print(f"k={k} ({cfg.operand_bits}-bit residues)    "
+              f"{pure_err:>9.4f} {hybrid_err:>10.4f} {pure_ops.rescales:>9} "
+              f"{pure_ops.sign_detections:>9} {conv:>11} "
+              f"{pure_ops.overflows:>6}")
 
-# Push the activations past the k=5 set's range: the pure path wraps
-# silently and the answer is garbage, with no error flag anywhere.
-narrow = PureRnsConfig(k=5, activation_frac_bits=5, weight_frac_bits=5)
-hot_x = x * 8.0
-pure_out, pure_ops = PureRnsNetwork(layers, narrow).forward(hot_x)
-wrapped_err = np.abs(pure_out - float_reference_forward(layers, hot_x)).max()
-print(f"\nk=5 with 8x hotter activations: {pure_ops.overflows} silent wraps, "
-      f"max output error {wrapped_err:.1f} (vs ~0.5 above)")
+    # Push the activations past the k=5 set's range: the pure path wraps
+    # silently and the answer is garbage, with no error flag anywhere.
+    narrow = PureRnsConfig(k=5, activation_frac_bits=5, weight_frac_bits=5)
+    hot_x = x * 8.0
+    pure_out, pure_ops = PureRnsNetwork(layers, narrow).forward(hot_x)
+    wrapped_err = np.abs(
+        pure_out - float_reference_forward(layers, hot_x)
+    ).max()
+    print(f"\nk=5 with 8x hotter activations: {pure_ops.overflows} silent "
+          f"wraps, max output error {wrapped_err:.1f} (vs ~0.5 above)")
 
-print("""
+    print("""
 Reading the table:
 * the hybrid path tracks FP64 more closely at every width — its rescale
   is a real division, the pure path floors in fixed point;
@@ -70,3 +74,7 @@ Reading the table:
   silently (the 'wraps' column) — the hybrid path cannot, because it
   re-ranges in float after every GEMM.  This is why Mirage pairs narrow
   residues with per-GEMM conversions (Section VII).""")
+
+
+if __name__ == "__main__":
+    main()

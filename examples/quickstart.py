@@ -21,39 +21,44 @@ from repro.bfp import BFPConfig, bfp_matmul_exact
 from repro.core import CoreConfig, PhotonicRnsTensorCore
 from repro.rns import RnsTensor, special_moduli_set
 
-rng = np.random.default_rng(42)
+def main():
+    rng = np.random.default_rng(42)
 
-# ----------------------------------------------------------------------
-# 1. Plain RNS arithmetic: integers decompose into residues and back.
-# ----------------------------------------------------------------------
-mset = special_moduli_set(5)  # {31, 32, 33}, M = 32736
-print(f"moduli = {mset.moduli}, dynamic range M = {mset.dynamic_range}, "
-      f"signed range = [-{mset.psi}, {mset.dynamic_range - 1 - mset.psi}]")
+    # ------------------------------------------------------------------
+    # 1. Plain RNS arithmetic: integers decompose into residues and back.
+    # ------------------------------------------------------------------
+    mset = special_moduli_set(5)  # {31, 32, 33}, M = 32736
+    print(f"moduli = {mset.moduli}, dynamic range M = {mset.dynamic_range}, "
+          f"signed range = [-{mset.psi}, {mset.dynamic_range - 1 - mset.psi}]")
 
-# Operands must keep the dot products inside [-psi, psi] (Eq. 13 is this
-# constraint specialised to BFP mantissae): 6 products of |a|,|b| <= 20
-# stay below 6 * 400 = 2400 << 16367.
-a = rng.integers(-20, 21, size=(4, 6))
-b = rng.integers(-20, 21, size=(6, 3))
-ra, rb = RnsTensor.from_signed(a, mset), RnsTensor.from_signed(b, mset)
-assert np.array_equal((ra @ rb).to_signed(), a @ b)
-print("integer GEMM in residue space matches plain integer GEMM\n")
+    # Operands must keep the dot products inside [-psi, psi] (Eq. 13 is
+    # this constraint specialised to BFP mantissae): 6 products of
+    # |a|,|b| <= 20 stay below 6 * 400 = 2400 << 16367.
+    a = rng.integers(-20, 21, size=(4, 6))
+    b = rng.integers(-20, 21, size=(6, 3))
+    ra, rb = RnsTensor.from_signed(a, mset), RnsTensor.from_signed(b, mset)
+    assert np.array_equal((ra @ rb).to_signed(), a @ b)
+    print("integer GEMM in residue space matches plain integer GEMM\n")
 
-# ----------------------------------------------------------------------
-# 2. The photonic tensor core: float GEMM through the device model.
-# ----------------------------------------------------------------------
-core = PhotonicRnsTensorCore(CoreConfig(bm=4, g=16, v=32, k=5))
-w = rng.normal(size=(48, 70))
-x = rng.normal(size=(70, 5))
+    # ------------------------------------------------------------------
+    # 2. The photonic tensor core: float GEMM through the device model.
+    # ------------------------------------------------------------------
+    core = PhotonicRnsTensorCore(CoreConfig(bm=4, g=16, v=32, k=5))
+    w = rng.normal(size=(48, 70))
+    x = rng.normal(size=(70, 5))
 
-y_photonic = core.matmul(w, x)
-y_reference = bfp_matmul_exact(w, x, BFPConfig(bm=4, g=16))
-y_fp64 = w @ x
+    y_photonic = core.matmul(w, x)
+    y_reference = bfp_matmul_exact(w, x, BFPConfig(bm=4, g=16))
+    y_fp64 = w @ x
 
-assert np.array_equal(y_photonic, y_reference), "photonic path is bit-exact"
-rel = np.abs(y_photonic - y_fp64).max() / np.abs(y_fp64).max()
-print(f"photonic GEMM == BFP integer reference (bit-exact)")
-print(f"tiles programmed: {core.tiles_programmed}, "
-      f"MVM cycles: {core.mvm_cycles}")
-print(f"BFP(bm=4, g=16) quantisation error vs FP64: {rel:.3%} "
-      f"(this is the *only* error source — the analog path adds none)")
+    assert np.array_equal(y_photonic, y_reference), "photonic path is bit-exact"
+    rel = np.abs(y_photonic - y_fp64).max() / np.abs(y_fp64).max()
+    print("photonic GEMM == BFP integer reference (bit-exact)")
+    print(f"tiles programmed: {core.tiles_programmed}, "
+          f"MVM cycles: {core.mvm_cycles}")
+    print(f"BFP(bm=4, g=16) quantisation error vs FP64: {rel:.3%} "
+          f"(this is the *only* error source — the analog path adds none)")
+
+
+if __name__ == "__main__":
+    main()

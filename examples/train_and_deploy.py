@@ -31,57 +31,62 @@ CORE = CoreConfig(bm=BM, g=G, v=8, k=5)
 # ----------------------------------------------------------------------
 # 1. Train with quantised GEMMs (the Mirage accuracy model).
 # ----------------------------------------------------------------------
-rng = np.random.default_rng(0)
-train_set, test_set = make_shape_images(num_classes=4, samples_per_class=24,
-                                        image_size=12, seed=0)
-quantizer = make_quantizer("mirage", bm=BM, g=G,
-                           rng=np.random.default_rng(1))
-model = Sequential(
-    Flatten(),
-    QuantizedLinear(144, 32, quantizer=quantizer, rng=rng),
-    ReLU(),
-    QuantizedLinear(32, 4, quantizer=quantizer, rng=rng),
-)
-result = train_classifier(model, train_set, test_set, epochs=3, seed=0)
-print(f"trained with BFP(bm={BM}, g={G}) GEMMs: "
-      f"val accuracy {result.final_metric:.1%}")
+def main():
+    rng = np.random.default_rng(0)
+    train_set, test_set = make_shape_images(num_classes=4, samples_per_class=24,
+                                            image_size=12, seed=0)
+    quantizer = make_quantizer("mirage", bm=BM, g=G,
+                               rng=np.random.default_rng(1))
+    model = Sequential(
+        Flatten(),
+        QuantizedLinear(144, 32, quantizer=quantizer, rng=rng),
+        ReLU(),
+        QuantizedLinear(32, 4, quantizer=quantizer, rng=rng),
+    )
+    result = train_classifier(model, train_set, test_set, epochs=3, seed=0)
+    print(f"trained with BFP(bm={BM}, g={G}) GEMMs: "
+          f"val accuracy {result.final_metric:.1%}")
 
-# ----------------------------------------------------------------------
-# 2. Deploy: run the test set through the photonic core, layer by layer.
-# ----------------------------------------------------------------------
-linears = [m for m in model.layers if isinstance(m, QuantizedLinear)]
-test_x = test_set.inputs.reshape(len(test_set.inputs), -1).T  # (features, N)
-test_y = test_set.targets
-
-
-def deploy(core) -> float:
-    """Forward pass where every GEMM runs on the given tensor core."""
-    act = test_x
-    for i, lin in enumerate(linears):
-        out = core.matmul(np.asarray(lin.weight.data), act)
-        out = out + np.asarray(lin.bias.data)[:, None]
-        act = np.maximum(out, 0.0) if i < len(linears) - 1 else out
-    return float(np.mean(np.argmax(act, axis=0) == test_y))
+    # ----------------------------------------------------------------------
+    # 2. Deploy: run the test set through the photonic core, layer by layer.
+    # ----------------------------------------------------------------------
+    linears = [m for m in model.layers if isinstance(m, QuantizedLinear)]
+    test_x = test_set.inputs.reshape(len(test_set.inputs), -1).T  # (features, N)
+    test_y = test_set.targets
 
 
-ideal = PhotonicRnsTensorCore(CORE)
-print(f"deployed on ideal photonic core:       accuracy {deploy(ideal):.1%}")
+    def deploy(core) -> float:
+        """Forward pass where every GEMM runs on the given tensor core."""
+        act = test_x
+        for i, lin in enumerate(linears):
+            out = core.matmul(np.asarray(lin.weight.data), act)
+            out = out + np.asarray(lin.bias.data)[:, None]
+            act = np.maximum(out, 0.0) if i < len(linears) - 1 else out
+        return float(np.mean(np.argmax(act, axis=0) == test_y))
 
-# ----------------------------------------------------------------------
-# 3. Deploy on fabricated (process-varied) devices.
-# ----------------------------------------------------------------------
-variation = VariationModel(dac_bits=8, mrr_rel_error=0.01,
-                           ps_rel_bias_std=0.02, seed=5)
-raw = FabricatedTensorCore(CORE, variation, calibrate=None)
-print(f"deployed on fabricated, uncalibrated:  accuracy {deploy(raw):.1%}")
 
-calibrated = FabricatedTensorCore(CORE, variation, calibrate="per_digit",
-                                  measurement_noise=0.002, repeats=2,
-                                  refine_iters=1)
-print(f"deployed on fabricated, calibrated:    accuracy {deploy(calibrated):.1%} "
-      f"({calibrated.calibration_probes} probe reads)")
+    ideal = PhotonicRnsTensorCore(CORE)
+    print(f"deployed on ideal photonic core:       accuracy {deploy(ideal):.1%}")
 
-print("""
+    # ----------------------------------------------------------------------
+    # 3. Deploy on fabricated (process-varied) devices.
+    # ----------------------------------------------------------------------
+    variation = VariationModel(dac_bits=8, mrr_rel_error=0.01,
+                               ps_rel_bias_std=0.02, seed=5)
+    raw = FabricatedTensorCore(CORE, variation, calibrate=None)
+    print(f"deployed on fabricated, uncalibrated:  accuracy {deploy(raw):.1%}")
+
+    calibrated = FabricatedTensorCore(CORE, variation, calibrate="per_digit",
+                                      measurement_noise=0.002, repeats=2,
+                                      refine_iters=1)
+    print(f"deployed on fabricated, calibrated:    accuracy {deploy(calibrated):.1%} "
+          f"({calibrated.calibration_probes} probe reads)")
+
+    print("""
 The ideal photonic core reproduces the quantised-training accuracy exactly
 (the analog path is lossless); raw fabrication errors destroy it; per-digit
 calibration restores it — train once, calibrate the silicon, deploy.""")
+
+
+if __name__ == "__main__":
+    main()

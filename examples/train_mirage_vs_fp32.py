@@ -17,30 +17,36 @@ from repro.quant import make_quantizer
 EPOCHS = 4
 SEED = 0
 
-train_set, test_set = make_shape_images(
-    num_classes=8, samples_per_class=40, image_size=16, seed=SEED
-)
-print(f"synthetic ImageNet stand-in: {len(train_set)} train / "
-      f"{len(test_set)} test images, 8 classes\n")
 
-results = {}
-for label, fmt, bm in (
-    ("FP32", None, None),
-    ("Mirage bm=4, g=16", "mirage", 4),
-    ("Mirage bm=3, g=16", "mirage", 3),
-):
-    rng = np.random.default_rng(SEED)
-    quantizer = make_quantizer(fmt, bm=bm, g=16) if fmt else None
-    model = build_resnet18_small(8, quantizer=quantizer, rng=rng)
-    result = train_classifier(
-        model, train_set, test_set, epochs=EPOCHS, batch_size=32, seed=SEED
+def main():
+    train_set, test_set = make_shape_images(
+        num_classes=8, samples_per_class=40, image_size=16, seed=SEED
     )
-    results[label] = result
-    losses = ", ".join(f"{l:.3f}" for l in result.history)
-    print(f"{label:22s} val acc = {100 * result.final_metric:5.1f}%   "
-          f"(train loss per epoch: {losses})")
+    print(f"synthetic ImageNet stand-in: {len(train_set)} train / "
+          f"{len(test_set)} test images, 8 classes\n")
 
-fp32 = results["FP32"].final_metric
-mir4 = results["Mirage bm=4, g=16"].final_metric
-print(f"\nMirage(bm=4) - FP32 accuracy gap: {100 * (mir4 - fp32):+.1f} points "
-      f"(paper: comparable accuracy; bm=3 degrades)")
+    results = {}
+    for label, fmt, bm in (
+        ("FP32", None, None),
+        ("Mirage bm=4, g=16", "mirage", 4),
+        ("Mirage bm=3, g=16", "mirage", 3),
+    ):
+        rng = np.random.default_rng(SEED)
+        quantizer = make_quantizer(fmt, bm=bm, g=16) if fmt else None
+        model = build_resnet18_small(8, quantizer=quantizer, rng=rng)
+        result = train_classifier(
+            model, train_set, test_set, epochs=EPOCHS, batch_size=32, seed=SEED
+        )
+        results[label] = result
+        losses = ", ".join(f"{l:.3f}" for l in result.history)
+        print(f"{label:22s} val acc = {100 * result.final_metric:5.1f}%   "
+              f"(train loss per epoch: {losses})")
+
+    fp32 = results["FP32"].final_metric
+    mir4 = results["Mirage bm=4, g=16"].final_metric
+    print(f"\nMirage(bm=4) - FP32 accuracy gap: {100 * (mir4 - fp32):+.1f} "
+          f"points (paper: comparable accuracy; bm=3 degrades)")
+
+
+if __name__ == "__main__":
+    main()

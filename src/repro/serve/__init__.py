@@ -131,11 +131,34 @@ wires the whole plane through pool, batcher, monitor and telemetry::
                           burn-rate monitors per class/tenant, surfaced
                           by (not acted on by) the autoscaler
 
+An **analysis layer** sits on top of the recording plane — pure
+functions of a finished run, never touched on the hot path::
+
+    Tracer + sessions ──> session_breakdown / fleet_rollup
+        per-session phase decompositions (queue_wait / dispatch_wait /
+        prefill / decode / stall) whose exact-rational phase sums
+        telescope to the enqueue→retire interval *bit-exactly*; fleet
+        rollups attribute TTFT/E2E p50/p99 to phases and tag worst-k
+        blocking sessions per class with deterministic MAD outliers
+    Observability ──> export_run / diff_runs / render_diff
+        a run snapshot as plain JSON (sorted keys: seeded replays are
+        byte-identical) and a leaf-by-leaf comparison engine;
+        ``python -m repro.serve.observability.diff a.json b.json``
+        exits non-zero on regressions, so replay determinism and
+        perf drift are CI-checkable
+    everything ──> build_flight_report / report_to_markdown
+        the one-stop deterministic post-run artifact: config, trace
+        volume, critical-path rollup, bit-exact hardware attribution,
+        SLO attainment — as JSON and markdown
+
 ``benchmarks/bench_observability.py`` gates the plane on a replayed
 fault storm: gap-free span timelines for every completed session,
 attribution equal to recorded busy time bit-for-bit, exact Prometheus
-round-trip, byte-identical repeat-run exports, and bounded tracing
-overhead.
+round-trip, byte-identical repeat-run exports, bounded tracing
+overhead, per-session critical-path sums bit-exact against the
+enqueue→retire interval, self-diff of two seeded replays reporting
+zero deltas (CLI exit 0; perturbed config exit 1), and bounded
+analysis overhead.
 """
 
 from .batcher import BatchPolicy, MicroBatcher
@@ -171,8 +194,15 @@ from .observability import (
     SLOSpec,
     SLOTracker,
     Tracer,
+    build_flight_report,
     default_windows,
+    diff_runs,
+    export_run,
+    fleet_rollup,
     parse_prometheus_text,
+    render_diff,
+    report_to_markdown,
+    session_breakdown,
 )
 from .pool import ExecutorPool, PoolWorker, ROUTING_POLICIES
 from .request import AdmissionQueue, InferenceRequest, Priority, RequestStatus
@@ -247,13 +277,17 @@ __all__ = [
     "TokenServingEngine",
     "Tracer",
     "WorkerHealth",
+    "build_flight_report",
     "build_sessions",
     "bursty_scenario",
     "chain_block_hashes",
     "decode_scenario",
+    "diff_runs",
     "default_windows",
     "diurnal_scenario",
+    "export_run",
     "fewshot_pool_scenario",
+    "fleet_rollup",
     "geometric_lengths",
     "infer_input_dim",
     "lognormal_lengths",
@@ -266,7 +300,10 @@ __all__ = [
     "percentile",
     "poisson_scenario",
     "priority_scenario",
+    "render_diff",
+    "report_to_markdown",
     "sequential_decode_outputs",
+    "session_breakdown",
     "shared_prefix_scenario",
     "summarize_latencies",
     "time_at_or_before",

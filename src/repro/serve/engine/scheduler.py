@@ -980,6 +980,11 @@ class TokenServingEngine:
                 self._trace_stall(running, t_route, horizon)
                 t = horizon
                 continue
+            # The index the upcoming record_step call will occupy,
+            # stamped on this step's spans so analysis can join a span
+            # back to its exact telemetry record.
+            step_id = len(self.telemetry.steps)
+            step_args = {"step": step_id}
             if self.tracer is not None and t > t_route:
                 # Every replica was busy: the whole step queued behind
                 # the pool until a worker freed up.
@@ -992,6 +997,7 @@ class TokenServingEngine:
                             t_route,
                             t,
                             category="queue",
+                            args=step_args,
                         )
             self._now = t
             # A degraded (slow) worker stretches the wall-clock booking
@@ -1019,6 +1025,13 @@ class TokenServingEngine:
                 # [t, t_end] with no gap.
                 plan_ids = {s.session_id for s, _, _ in plan}
                 decoder_ids = {s.session_id for s in decoders}
+                # Prefill spans carry their chunk geometry (resident
+                # context + chunk length) alongside the step id — the
+                # exact inputs the attribution layer re-prices.
+                chunk_args = {
+                    s.session_id: {"step": step_id, "context": c, "chunk": q}
+                    for s, c, q in plan
+                }
                 for s in running:
                     if s.finished:
                         continue
@@ -1032,7 +1045,13 @@ class TokenServingEngine:
                     else:
                         phase = "stall"
                     self.tracer.span(
-                        "session", sid, phase, t, t_end, category=phase
+                        "session",
+                        sid,
+                        phase,
+                        t,
+                        t_end,
+                        category=phase,
+                        args=chunk_args.get(sid, step_args),
                     )
             for i, session in enumerate(decoders):
                 if session.finished:

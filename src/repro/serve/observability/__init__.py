@@ -23,18 +23,42 @@ Four cooperating pieces, all on the simulated clock:
   :class:`BurnRateMonitor` error-budget tracking per class/tenant,
   surfaced to (not yet acted on by) the autoscaler.
 
+On top of the collection layer sits the **analysis layer**:
+
+* :mod:`~repro.serve.observability.critical_path` — per-session latency
+  breakdowns that sum *bit-exactly* to the enqueue→retire interval
+  (Fraction telescoping over the gap-free span tiling), fleet rollups
+  attributing TTFT/E2E p50/p99 to phases, and MAD-tagged worst-session
+  blocking analysis per class;
+* :mod:`~repro.serve.observability.diff` — run exports
+  (:func:`export_run`) and a regression diff engine
+  (:func:`diff_runs`) with a ``python -m
+  repro.serve.observability.diff`` CLI whose exit code gates CI: two
+  seeded replays diff to zero deltas byte-identically;
+* :mod:`~repro.serve.observability.report` — deterministic "flight
+  report" JSON/markdown artifacts bundling config, critical path,
+  attribution, SLO attainment and outlier exemplars.
+
 :class:`Observability` bundles them: pass one instance to
 :class:`~repro.serve.engine.TokenServingEngine` or
 :class:`~repro.serve.runtime.ServingRuntime` and the whole plane wires
 itself through the pool, batcher, monitor and telemetry.  Construction
 is cheap and recording is tuple appends + counter bumps, bounded by the
-``bench_observability`` overhead gate.
+``bench_observability`` overhead gate; analysis runs strictly
+after-the-fact over the recorded state.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from .critical_path import (
+    PHASE_NAMES,
+    fleet_rollup,
+    mad_outliers,
+    session_breakdown,
+)
+from .diff import diff_runs, export_run, render_diff, run_to_json
 from .metrics import (
     Counter,
     Gauge,
@@ -43,6 +67,7 @@ from .metrics import (
     parse_prometheus_text,
 )
 from .profiler import HardwareAttributionProfiler
+from .report import build_flight_report, report_to_json, report_to_markdown
 from .slo import (
     BurnRateMonitor,
     BurnWindow,
@@ -68,6 +93,17 @@ __all__ = [
     "BurnRateMonitor",
     "BurnWindow",
     "default_windows",
+    "PHASE_NAMES",
+    "session_breakdown",
+    "fleet_rollup",
+    "mad_outliers",
+    "export_run",
+    "run_to_json",
+    "diff_runs",
+    "render_diff",
+    "build_flight_report",
+    "report_to_json",
+    "report_to_markdown",
 ]
 
 
@@ -93,6 +129,14 @@ class Observability:
         self, accelerator=None, strict: bool = True
     ) -> HardwareAttributionProfiler:
         return HardwareAttributionProfiler(accelerator, strict=strict)
+
+    def export(self, config=None, sessions=None) -> dict:
+        """Snapshot this run as a diffable document (:func:`export_run`)."""
+        return export_run(self, config=config, sessions=sessions)
+
+    def flight_report(self, **kwargs) -> dict:
+        """Build this run's flight report (:func:`build_flight_report`)."""
+        return build_flight_report(self, **kwargs)
 
     def summary(self, now: Optional[float] = None) -> dict:
         out = {

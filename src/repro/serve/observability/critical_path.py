@@ -1,0 +1,293 @@
+"""Critical-path analysis over recorded span timelines.
+
+The tracer's gap-free-timeline invariant (``Tracer.gaps`` under exact
+float equality) makes a session's life *exactly decomposable*: its
+phase spans (``queue_wait`` / ``dispatch_wait`` / ``prefill`` /
+``decode`` / ``stall``) tile ``[arrival, retire]`` with bitwise-shared
+boundaries.  :func:`session_breakdown` turns that tiling into a
+per-session latency breakdown whose components sum **bit-exactly** to
+the measured enqueue→retire interval: every boundary float is lifted
+into an exact dyadic rational — an integer mantissa at a shared
+power-of-two scale, the same exact embedding
+:class:`fractions.Fraction` would give without its per-op
+normalization cost — so the per-phase sums telescope (shared interior
+boundaries cancel) and the total equals ``finish - arrival`` in exact
+integer arithmetic with no rounding anywhere.  Floats reappear only in
+the reported numbers (one correctly-rounded division each).
+
+:func:`fleet_rollup` aggregates breakdowns fleet-wide: phase totals and
+shares, TTFT/E2E p50/p99 *exemplar* attribution (the nearest-rank
+percentile session's own phase split — a real session, not an average
+of incomparable ones), and a blocking-component analysis of the
+worst-k sessions per priority class with deterministic MAD-based
+outlier tagging (:func:`mad_outliers`, modified z-score on a one-sided
+robust scale).
+
+Everything here is a pure function of the recorded trace — no clock
+access, no randomness — so two seeded replays of the same run produce
+byte-identical rollups (the property ``diff.py`` builds on).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "PHASE_NAMES",
+    "session_breakdown",
+    "fleet_rollup",
+    "mad_outliers",
+    "nearest_rank",
+]
+
+# Session-track phase span names, in canonical (and tie-break) order.
+PHASE_NAMES = ("queue_wait", "dispatch_wait", "prefill", "decode", "stall")
+
+
+def _scaled_ints(values: Sequence[float]) -> tuple:
+    """Lift floats to exact integers at one shared power-of-two scale.
+
+    Every finite binary float is ``n / 2**s`` with integer ``n``
+    (``float.as_integer_ratio``); returning all mantissas at the
+    maximum ``s`` makes subsequent sums/differences/comparisons exact
+    integer arithmetic — semantically identical to Fraction, an order
+    of magnitude cheaper.  Returns ``(ints, denominator)`` with
+    ``values[i] == ints[i] / denominator`` exactly.
+    """
+    pairs = [float(v).as_integer_ratio() for v in values]
+    shift = 0
+    for _, den in pairs:
+        bits = den.bit_length() - 1  # den is a power of two
+        if bits > shift:
+            shift = bits
+    return (
+        [n << (shift - (den.bit_length() - 1)) for n, den in pairs],
+        1 << shift,
+    )
+
+
+def nearest_rank(values: Sequence[float], q: float) -> int:
+    """Index of the nearest-rank ``q``-th percentile in a sorted list."""
+    if not values:
+        raise ValueError("nearest_rank of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return max(0, math.ceil(q / 100.0 * len(values)) - 1)
+
+
+def mad_outliers(
+    values: Sequence[float], threshold: float = 3.5
+) -> List[bool]:
+    """One-sided robust outlier tags via the modified z-score.
+
+    A value is an outlier when ``0.6745 * (v - median) / MAD`` exceeds
+    ``threshold`` (the classic Iglewicz–Hoaglin cut at 3.5) — one-sided,
+    because only *slow* sessions block anything.  When the MAD collapses
+    to zero (over half the fleet identical), any value strictly above
+    the median is tagged.  Pure arithmetic on the inputs: deterministic.
+    """
+
+    def median(ordered: List[float]) -> float:
+        n = len(ordered)
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    if not values:
+        return []
+    med = median(sorted(values))
+    mad = median(sorted(abs(v - med) for v in values))
+    if mad == 0.0:
+        return [v > med for v in values]
+    return [0.6745 * (v - med) / mad > threshold for v in values]
+
+
+def session_breakdown(tracer, session) -> Dict[str, Any]:
+    """One session's latency, split by phase, summing bit-exactly.
+
+    ``session`` is duck-typed (:class:`~repro.serve.engine.DecodeSession`):
+    anything with ``session_id`` / ``priority`` / ``arrival_time`` /
+    ``first_token_time`` / ``finish_time`` works.  The returned
+    ``exact`` flag certifies both halves of the invariant: the timeline
+    is gap-free *and* the exact phase sums telescope to the
+    enqueue→retire interval (``residual_s`` is the literal difference — always
+    ``0.0`` when ``exact``).  TTFT attribution clips each span at the
+    first-token instant; that instant is itself a span boundary the
+    engine emitted, so the clip is exact too.
+    """
+    sid = session.session_id
+    fin = session.finish_time
+    if fin is None:
+        raise ValueError(f"session {sid} has not retired; nothing to decompose")
+    ft = session.first_token_time
+
+    # Raw tuples (track, track_id, name, t0, t1, category, args) — one
+    # indexed fetch; sort matches Tracer.session_timeline's ordering.
+    timeline = tracer.span_records("session", sid)
+    timeline.sort(key=lambda record: (record[3], record[4]))
+
+    # One shared scale for every boundary float of this session: all
+    # arithmetic below is exact integer arithmetic at that scale.
+    floats: List[float] = [float(session.arrival_time), float(fin)]
+    if ft is not None:
+        floats.append(float(ft))
+    for record in timeline:
+        floats.append(record[3])
+        floats.append(record[4])
+    scaled, denom = _scaled_ints(floats)
+    start_i, end_i = scaled[0], scaled[1]
+    ft_i: Optional[int] = scaled[2] if ft is not None else None
+    bounds = scaled[3 if ft is not None else 2:]
+
+    # Single pass: phase totals, TTFT clipping, and the gap-free check
+    # (the exact-equality walk Tracer.gaps does, on the scaled ints —
+    # equivalent because the int embedding preserves float equality).
+    totals: Dict[str, int] = {name: 0 for name in PHASE_NAMES}
+    ttft_totals: Dict[str, int] = {name: 0 for name in PHASE_NAMES}
+    other = 0
+    gap_free = bool(timeline) or end_i <= start_i
+    cursor = start_i
+    for i, record in enumerate(timeline):
+        t0 = bounds[2 * i]
+        t1 = bounds[2 * i + 1]
+        if t0 != cursor:
+            gap_free = False
+        if t1 > cursor:
+            cursor = t1
+        name = record[2]
+        if name in totals:
+            totals[name] += t1 - t0
+        else:
+            other += t1 - t0
+        if ft_i is not None and name in ttft_totals:
+            hi = t1 if t1 < ft_i else ft_i
+            lo = t0 if t0 < ft_i else ft_i
+            if hi > lo:
+                ttft_totals[name] += hi - lo
+    if timeline and cursor != end_i:
+        gap_free = False
+
+    covered = sum(totals.values()) + other
+    interval = end_i - start_i
+    exact = gap_free and covered == interval
+
+    dominant = PHASE_NAMES[0]
+    for name in PHASE_NAMES[1:]:
+        if totals[name] > totals[dominant]:
+            dominant = name
+
+    out: Dict[str, Any] = {
+        "session_id": sid,
+        "priority": int(session.priority),
+        "spans": len(timeline),
+        "e2e_s": interval / denom,
+        "ttft_s": (ft_i - start_i) / denom if ft_i is not None else None,
+        "phases": {name: totals[name] / denom for name in PHASE_NAMES},
+        "ttft_phases": (
+            {name: ttft_totals[name] / denom for name in PHASE_NAMES}
+            if ft_i is not None
+            else None
+        ),
+        "dominant_phase": dominant,
+        "exact": exact,
+        "residual_s": (interval - covered) / denom,
+    }
+    return out
+
+
+def _exemplar(breakdown: Dict[str, Any], metric: str) -> Dict[str, Any]:
+    """The compact percentile-exemplar view of one breakdown."""
+    phases = (
+        breakdown["ttft_phases"] if metric == "ttft_s" else breakdown["phases"]
+    )
+    return {
+        "session_id": breakdown["session_id"],
+        "priority": breakdown["priority"],
+        "value_s": breakdown[metric],
+        "phases": dict(phases) if phases is not None else None,
+        "dominant_phase": breakdown["dominant_phase"],
+    }
+
+
+def fleet_rollup(
+    tracer,
+    sessions: Sequence,
+    worst_k: int = 3,
+    outlier_threshold: float = 3.5,
+) -> Dict[str, Any]:
+    """Fleet-level critical-path rollup over completed sessions.
+
+    Returns phase totals/shares across the fleet, nearest-rank p50/p99
+    exemplars for TTFT and E2E (each carrying its own exact phase
+    split), and per-class blocking analysis: the ``worst_k`` slowest
+    sessions by E2E with MAD outlier tags, plus the class outlier
+    count.  Ordering is fully deterministic (ties break on session id).
+    """
+    completed = sorted(
+        (s for s in sessions if s.finish_time is not None),
+        key=lambda s: s.session_id,
+    )
+    breakdowns = [session_breakdown(tracer, s) for s in completed]
+
+    # Exact fleet-wide phase totals: one shared scale across every
+    # per-session phase float, integer sums, rounding only at report.
+    n = len(breakdowns)
+    scaled, denom = _scaled_ints(
+        [b["phases"][name] for name in PHASE_NAMES for b in breakdowns]
+    )
+    phase_totals = {
+        name: sum(scaled[j * n:(j + 1) * n])
+        for j, name in enumerate(PHASE_NAMES)
+    }
+    grand = sum(phase_totals.values())
+
+    out: Dict[str, Any] = {
+        "sessions": len(breakdowns),
+        "exact_sessions": sum(1 for b in breakdowns if b["exact"]),
+        "phase_totals_s": {
+            name: phase_totals[name] / denom for name in PHASE_NAMES
+        },
+        "phase_shares": {
+            name: (phase_totals[name] / grand if grand else 0.0)
+            for name in PHASE_NAMES
+        },
+    }
+    if not breakdowns:
+        out["e2e"] = out["ttft"] = None
+        out["classes"] = {}
+        return out
+
+    for metric, key in (("e2e_s", "e2e"), ("ttft_s", "ttft")):
+        ranked = sorted(
+            breakdowns, key=lambda b: (b[metric], b["session_id"])
+        )
+        values = [b[metric] for b in ranked]
+        out[key] = {
+            "p50": _exemplar(ranked[nearest_rank(values, 50.0)], metric),
+            "p99": _exemplar(ranked[nearest_rank(values, 99.0)], metric),
+        }
+
+    classes: Dict[str, Any] = {}
+    by_class: Dict[int, List[Dict[str, Any]]] = {}
+    for b in breakdowns:
+        by_class.setdefault(b["priority"], []).append(b)
+    for priority in sorted(by_class):
+        members = by_class[priority]
+        tags = mad_outliers(
+            [b["e2e_s"] for b in members], threshold=outlier_threshold
+        )
+        worst = sorted(
+            zip(members, tags),
+            key=lambda pair: (-pair[0]["e2e_s"], pair[0]["session_id"]),
+        )[: max(0, worst_k)]
+        classes[f"class{priority}"] = {
+            "sessions": len(members),
+            "outliers": sum(tags),
+            "worst": [
+                dict(b, outlier=tag) for b, tag in worst
+            ],
+        }
+    out["classes"] = classes
+    return out

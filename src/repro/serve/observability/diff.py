@@ -1,0 +1,309 @@
+"""Run-comparison engine over exported observability runs.
+
+:func:`export_run` snapshots one traced run into a plain-JSON document:
+per-phase duration distributions (count / total / mean / p50 / p99 /
+max over the session track), span and instant counts per
+``track/name``, the full metrics sample dict, the SLO summary, the
+session-latency percentiles, and the free-form run config.  The export
+is a pure function of the recorded state, dumped with sorted keys —
+two seeded replays of the same run export **byte-identical** documents.
+
+:func:`diff_runs` compares two exports leaf by leaf: numeric leaves get
+``(a, b, delta, rel)`` records, non-numeric leaves equality checks, and
+span/phase/metric names present on only one side are reported as
+added/removed.  A change becomes a **regression** when it exceeds both
+configurable thresholds (``abs_s`` and ``rel`` — the defaults of zero
+flag *any* delta, which is exactly what the replay-determinism gate
+wants); structural changes (new/removed names, config drift) always
+flag.  Therefore: identical runs → zero changes → exit 0; a perturbed
+config or perturbed behaviour → non-zero exit.
+
+CLI::
+
+    python -m repro.serve.observability.diff a.json b.json \
+        [--rel 0.05] [--abs-s 1e-9] [--ignore-config] [--json]
+
+exit 0 = no regression, 1 = regression(s), 2 = bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .critical_path import nearest_rank
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "export_run",
+    "run_to_json",
+    "diff_runs",
+    "render_diff",
+    "main",
+]
+
+SCHEMA_VERSION = 1
+
+# Sections of an export whose leaves are diffed pairwise.
+_DIFF_SECTIONS = ("phases", "spans", "instants", "metrics", "sessions", "slo")
+
+
+def _distribution(durations: List[float]) -> Dict[str, Any]:
+    """Deterministic summary of one span-name's duration population."""
+    ordered = sorted(durations)
+    return {
+        "count": len(ordered),
+        "total_s": sum(ordered),
+        "mean_s": sum(ordered) / len(ordered),
+        "p50_s": ordered[nearest_rank(ordered, 50.0)],
+        "p99_s": ordered[nearest_rank(ordered, 99.0)],
+        "max_s": ordered[-1],
+    }
+
+
+def export_run(
+    observability,
+    config: Optional[Dict[str, Any]] = None,
+    sessions: Optional[Sequence] = None,
+) -> Dict[str, Any]:
+    """Snapshot a traced run as a diffable plain-JSON document."""
+    out: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "config": dict(config) if config else {},
+    }
+
+    phases: Dict[str, List[float]] = {}
+    spans: Dict[str, Dict[str, Any]] = {}
+    instants: Dict[str, int] = {}
+    tracer = observability.tracer
+    if tracer is not None:
+        # Raw tuples, not Span/Instant objects: the export walks every
+        # record once and per-record wrapping would dominate its cost.
+        for track, _tid, name, t0, t1, _cat, _args in tracer.span_records():
+            key = f"{track}/{name}"
+            agg = spans.get(key)
+            if agg is None:
+                agg = spans[key] = {"count": 0, "total_s": 0.0}
+            agg["count"] += 1
+            duration = t1 - t0
+            agg["total_s"] += duration
+            if track == "session":
+                phases.setdefault(name, []).append(duration)
+        for track, _tid, name, _t, _args in tracer.instant_records():
+            key = f"{track}/{name}"
+            instants[key] = instants.get(key, 0) + 1
+    out["phases"] = {
+        name: _distribution(durations) for name, durations in phases.items()
+    }
+    out["spans"] = spans
+    out["instants"] = instants
+    out["metrics"] = dict(observability.registry.samples())
+    out["slo"] = (
+        observability.slo.summary() if observability.slo is not None else None
+    )
+
+    if sessions is not None:
+        e2e = sorted(
+            float(s.finish_time) - float(s.arrival_time)
+            for s in sessions
+            if s.finish_time is not None
+        )
+        ttft = sorted(
+            float(s.first_token_time) - float(s.arrival_time)
+            for s in sessions
+            if s.first_token_time is not None
+        )
+        out["sessions"] = {
+            "completed": len(e2e),
+            "e2e_p50_s": e2e[nearest_rank(e2e, 50.0)] if e2e else None,
+            "e2e_p99_s": e2e[nearest_rank(e2e, 99.0)] if e2e else None,
+            "ttft_p50_s": ttft[nearest_rank(ttft, 50.0)] if ttft else None,
+            "ttft_p99_s": ttft[nearest_rank(ttft, 99.0)] if ttft else None,
+        }
+    else:
+        out["sessions"] = None
+    return out
+
+
+def run_to_json(run: Dict[str, Any]) -> str:
+    """Deterministic export serialization: sorted keys, stable floats."""
+    return json.dumps(run, sort_keys=True, indent=2) + "\n"
+
+
+def _flatten(node: Any, prefix: str, out: Dict[str, Any]) -> None:
+    if isinstance(node, dict):
+        for key in node:
+            _flatten(node[key], f"{prefix}/{key}" if prefix else str(key), out)
+    elif isinstance(node, list):
+        for i, item in enumerate(node):
+            _flatten(item, f"{prefix}[{i}]", out)
+    else:
+        out[prefix] = node
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def diff_runs(
+    a: Dict[str, Any],
+    b: Dict[str, Any],
+    rel: float = 0.0,
+    abs_s: float = 0.0,
+    ignore_config: bool = False,
+) -> Dict[str, Any]:
+    """Compare two exported runs; see the module docstring for semantics."""
+    if rel < 0.0 or abs_s < 0.0:
+        raise ValueError("diff thresholds must be >= 0")
+    changes: List[Dict[str, Any]] = []
+    regressions: List[Dict[str, Any]] = []
+    added: List[str] = []
+    removed: List[str] = []
+    config_changes: List[Dict[str, Any]] = []
+    compared = 0
+
+    for section in _DIFF_SECTIONS:
+        flat_a: Dict[str, Any] = {}
+        flat_b: Dict[str, Any] = {}
+        _flatten(a.get(section), section, flat_a)
+        _flatten(b.get(section), section, flat_b)
+        added.extend(sorted(set(flat_b) - set(flat_a)))
+        removed.extend(sorted(set(flat_a) - set(flat_b)))
+        for path in sorted(set(flat_a) & set(flat_b)):
+            va, vb = flat_a[path], flat_b[path]
+            compared += 1
+            if _is_number(va) and _is_number(vb):
+                delta = vb - va
+                if delta == 0:
+                    continue
+                scale = max(abs(va), abs(vb))
+                rel_delta = abs(delta) / scale if scale else float("inf")
+                record = {
+                    "path": path,
+                    "a": va,
+                    "b": vb,
+                    "delta": delta,
+                    "rel": rel_delta,
+                }
+                changes.append(record)
+                if abs(delta) > abs_s and rel_delta > rel:
+                    regressions.append(record)
+            elif va != vb:
+                record = {"path": path, "a": va, "b": vb}
+                changes.append(record)
+                regressions.append(record)
+
+    flat_ca: Dict[str, Any] = {}
+    flat_cb: Dict[str, Any] = {}
+    _flatten(a.get("config"), "config", flat_ca)
+    _flatten(b.get("config"), "config", flat_cb)
+    for path in sorted(set(flat_ca) | set(flat_cb)):
+        va = flat_ca.get(path)
+        vb = flat_cb.get(path)
+        if va != vb:
+            config_changes.append({"path": path, "a": va, "b": vb})
+
+    structural = bool(added or removed)
+    config_flagged = bool(config_changes) and not ignore_config
+    return {
+        "thresholds": {"rel": rel, "abs_s": abs_s},
+        "compared": compared,
+        "changes": changes,
+        "regressions": regressions,
+        "added": added,
+        "removed": removed,
+        "config_changes": config_changes,
+        "regression": bool(regressions) or structural or config_flagged,
+    }
+
+
+def _fmt_value(value: Any) -> str:
+    return repr(value)
+
+
+def render_diff(result: Dict[str, Any]) -> str:
+    """Deterministic human-readable rendering of a diff result."""
+    lines = [
+        f"run diff: {len(result['changes'])} change(s), "
+        f"{len(result['regressions'])} regression(s) over "
+        f"{result['compared']} compared leaves"
+    ]
+    for path in result["added"]:
+        lines.append(f"  added:   {path}")
+    for path in result["removed"]:
+        lines.append(f"  removed: {path}")
+    for record in result["config_changes"]:
+        lines.append(
+            f"  config:  {record['path']}: "
+            f"{_fmt_value(record['a'])} -> {_fmt_value(record['b'])}"
+        )
+    for record in result["changes"]:
+        if "delta" in record:
+            lines.append(
+                f"  {record['path']}: {_fmt_value(record['a'])} -> "
+                f"{_fmt_value(record['b'])} "
+                f"(delta {record['delta']:+.6e}, {record['rel']:+.3%})"
+            )
+        else:
+            lines.append(
+                f"  {record['path']}: {_fmt_value(record['a'])} -> "
+                f"{_fmt_value(record['b'])}"
+            )
+    if not result["regression"]:
+        lines.append("ok: zero deltas beyond thresholds")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.observability.diff",
+        description="Diff two exported observability runs.",
+    )
+    parser.add_argument("run_a", help="baseline export_run() JSON file")
+    parser.add_argument("run_b", help="candidate export_run() JSON file")
+    parser.add_argument(
+        "--rel",
+        type=float,
+        default=0.0,
+        help="relative regression threshold (default 0: flag any delta)",
+    )
+    parser.add_argument(
+        "--abs-s",
+        type=float,
+        default=0.0,
+        help="absolute regression threshold in seconds (default 0)",
+    )
+    parser.add_argument(
+        "--ignore-config",
+        action="store_true",
+        help="config drift alone does not fail the diff",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the raw diff result as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    runs = []
+    for path in (args.run_a, args.run_b):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                runs.append(json.load(handle))
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot read run export {path!r}: {exc}")
+    result = diff_runs(
+        runs[0],
+        runs[1],
+        rel=args.rel,
+        abs_s=args.abs_s,
+        ignore_config=args.ignore_config,
+    )
+    if args.json:
+        print(json.dumps(result, sort_keys=True, indent=2))
+    else:
+        print(render_diff(result), end="")
+    return 1 if result["regression"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

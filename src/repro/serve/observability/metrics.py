@@ -307,17 +307,33 @@ def parse_prometheus_text(text: str) -> Dict[str, float]:
     round-trip gate: values render via ``repr(float)``, so
     ``parse_prometheus_text(registry.prometheus_text()) ==
     registry.samples()`` must hold with exact float equality.
+
+    A line that is not a comment and not ``name[{labels}] value`` raises
+    ``ValueError`` naming the offending line — silent skips would let a
+    truncated dump "round-trip" to a subset.
     """
     out: Dict[str, float] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        # The series name may contain spaces only inside the label braces.
+        # The series name may contain spaces (and even ``}``) only
+        # inside the label braces; the value never contains ``}``, so
+        # the *last* closing brace ends the name.
         if "}" in line:
-            brace = line.index("}")
+            brace = line.rindex("}")
             name, value_str = line[: brace + 1], line[brace + 1 :].strip()
         else:
-            name, value_str = line.split(None, 1)
-        out[name] = float(value_str)
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                raise ValueError(f"malformed Prometheus sample line: {line!r}")
+            name, value_str = parts
+        if not name or not value_str:
+            raise ValueError(f"malformed Prometheus sample line: {line!r}")
+        try:
+            out[name] = float(value_str)
+        except ValueError:
+            raise ValueError(
+                f"malformed Prometheus sample value in line: {line!r}"
+            ) from None
     return out

@@ -67,15 +67,35 @@ class Instant:
 
 
 class Tracer:
-    """Append-only span/instant store with query + Chrome export."""
+    """Append-only span/instant store with query + Chrome export.
 
-    __slots__ = ("_spans", "_instants")
+    Queries that pin ``(track, track_id)`` go through a **lazy
+    incremental index**: record-time stays a bare tuple append (the
+    overhead-gate hot path), and the first such query after new records
+    indexes only the appended tail.  The store is append-only, so
+    indexed positions never invalidate, and index-backed results are in
+    recording order — identical to the linear scan they replace.
+    """
+
+    __slots__ = (
+        "_spans",
+        "_instants",
+        "_span_index",
+        "_span_indexed",
+        "_instant_index",
+        "_instant_indexed",
+    )
 
     def __init__(self):
         # (track, track_id, name, t0, t1, category, args)
         self._spans: List[Tuple[str, int, str, float, float, str, Any]] = []
         # (track, track_id, name, t, args)
         self._instants: List[Tuple[str, int, str, float, Any]] = []
+        # (track, track_id) -> positions, grown lazily at query time.
+        self._span_index: Dict[Tuple[str, int], List[int]] = {}
+        self._span_indexed = 0
+        self._instant_index: Dict[Tuple[str, int], List[int]] = {}
+        self._instant_indexed = 0
 
     # Recording (hot path) ----------------------------------------------
     def span(
@@ -104,6 +124,31 @@ class Tracer:
         return len(self._spans) + len(self._instants)
 
     # Query index -------------------------------------------------------
+    def _ensure_index(self) -> None:
+        """Index the tail appended since the last indexed query."""
+        spans = self._spans
+        if self._span_indexed < len(spans):
+            index = self._span_index
+            for pos in range(self._span_indexed, len(spans)):
+                record = spans[pos]
+                key = (record[0], record[1])
+                bucket = index.get(key)
+                if bucket is None:
+                    bucket = index[key] = []
+                bucket.append(pos)
+            self._span_indexed = len(spans)
+        instants = self._instants
+        if self._instant_indexed < len(instants):
+            index = self._instant_index
+            for pos in range(self._instant_indexed, len(instants)):
+                record = instants[pos]
+                key = (record[0], record[1])
+                bucket = index.get(key)
+                if bucket is None:
+                    bucket = index[key] = []
+                bucket.append(pos)
+            self._instant_indexed = len(instants)
+
     def spans(
         self,
         track: Optional[str] = None,
@@ -112,6 +157,18 @@ class Tracer:
         category: Optional[str] = None,
     ) -> List[Span]:
         out = []
+        if track is not None and track_id is not None:
+            # O(matching): walk only this (track, track_id)'s positions.
+            self._ensure_index()
+            positions = self._span_index.get((track, track_id), ())
+            for pos in positions:
+                tr, tid, nm, t0, t1, cat, args = self._spans[pos]
+                if name is not None and nm != name:
+                    continue
+                if category is not None and cat != category:
+                    continue
+                out.append(Span(tr, tid, nm, t0, t1, cat, args))
+            return out
         for tr, tid, nm, t0, t1, cat, args in self._spans:
             if track is not None and tr != track:
                 continue
@@ -131,6 +188,15 @@ class Tracer:
         name: Optional[str] = None,
     ) -> List[Instant]:
         out = []
+        if track is not None and track_id is not None:
+            self._ensure_index()
+            positions = self._instant_index.get((track, track_id), ())
+            for pos in positions:
+                tr, tid, nm, t, args = self._instants[pos]
+                if name is not None and nm != name:
+                    continue
+                out.append(Instant(tr, tid, nm, t, args))
+            return out
         for tr, tid, nm, t, args in self._instants:
             if track is not None and tr != track:
                 continue
@@ -141,9 +207,55 @@ class Tracer:
             out.append(Instant(tr, tid, nm, t, args))
         return out
 
+    def span_records(
+        self,
+        track: Optional[str] = None,
+        track_id: Optional[int] = None,
+    ) -> List[Tuple[str, int, str, float, float, str, Any]]:
+        """Raw span tuples ``(track, track_id, name, t0, t1, category,
+        args)`` — the zero-wrapping sibling of :meth:`spans` for bulk
+        consumers (export, rollups) where per-record :class:`Span`
+        construction dominates.  Same ordering guarantees as
+        :meth:`spans`; records are the stored tuples, not copies.
+        """
+        if track is None and track_id is None:
+            return list(self._spans)
+        if track is not None and track_id is not None:
+            self._ensure_index()
+            spans = self._spans
+            positions = self._span_index.get((track, track_id), ())
+            return [spans[pos] for pos in positions]
+        return [
+            record
+            for record in self._spans
+            if (track is None or record[0] == track)
+            and (track_id is None or record[1] == track_id)
+        ]
+
+    def instant_records(
+        self,
+        track: Optional[str] = None,
+        track_id: Optional[int] = None,
+    ) -> List[Tuple[str, int, str, float, Any]]:
+        """Raw instant tuples ``(track, track_id, name, t, args)``."""
+        if track is None and track_id is None:
+            return list(self._instants)
+        if track is not None and track_id is not None:
+            self._ensure_index()
+            instants = self._instants
+            positions = self._instant_index.get((track, track_id), ())
+            return [instants[pos] for pos in positions]
+        return [
+            record
+            for record in self._instants
+            if (track is None or record[0] == track)
+            and (track_id is None or record[1] == track_id)
+        ]
+
     def track_ids(self, track: str) -> List[int]:
-        ids = {tid for tr, tid, *_ in self._spans if tr == track}
-        ids.update(tid for tr, tid, *_ in self._instants if tr == track)
+        self._ensure_index()
+        ids = {tid for tr, tid in self._span_index if tr == track}
+        ids.update(tid for tr, tid in self._instant_index if tr == track)
         return sorted(ids)
 
     def session_timeline(self, session_id: int, track: str = "session") -> List[Span]:

@@ -853,6 +853,15 @@ class ServingRuntime:
             outputs = None
             worker.run_booking(model, len(batch), now, booked_s)
         done = now + booked_s
+        # The index the record_batch call below will occupy — stamped on
+        # each request's service span so analysis can join a span back
+        # to its exact telemetry batch record.
+        dispatch_id = len(self.telemetry.batches)
+        span_args = {
+            "batch": len(batch),
+            "worker": worker.worker_id,
+            "dispatch": dispatch_id,
+        }
         for i, request in enumerate(batch):
             request.status = RequestStatus.DISPATCHED
             request.dispatch_time = now
@@ -874,7 +883,7 @@ class ServingRuntime:
                     now,
                     done,
                     category="service",
-                    args={"batch": len(batch), "worker": worker.worker_id},
+                    args=span_args,
                 )
         self.telemetry.record_batch(
             model, batch, worker.worker_id, now, service_s

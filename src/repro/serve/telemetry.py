@@ -193,12 +193,16 @@ class Telemetry:
         worker_id: int,
         dispatch_time: float,
         service_s: float,
-    ) -> None:
+    ) -> int:
+        """Record one dispatched batch; returns its index in ``batches``
+        (the id the runtime stamps on the batch's service span)."""
+        index = len(self.batches)
         self.batches.append(
             _BatchRecord(model, len(requests), worker_id, dispatch_time, service_s)
         )
         self._m_batches.labels(model).inc()
         self._m_batch_size.observe(len(requests), model)
+        return index
 
     def record_completion(self, request: InferenceRequest) -> None:
         self.completed.append(request)
@@ -554,7 +558,11 @@ class EngineTelemetry:
         kv_blocks: int,
         kv_occupancy: float,
         stall_s: float = 0.0,
-    ) -> None:
+    ) -> int:
+        """Record one engine step; returns its index in ``steps`` (the
+        id the scheduler stamps on the step's phase spans, closing the
+        span→telemetry causal join the critical-path analysis uses)."""
+        index = len(self.steps)
         self.steps.append(
             _StepRecord(
                 t,
@@ -574,6 +582,7 @@ class EngineTelemetry:
         self._m_batch_active.labels().set(active, t=t)
         if stall_s > 0.0:
             self._m_stall.labels().inc(stall_s)
+        return index
 
     def record_session(self, session) -> None:
         self.sessions.append(session)

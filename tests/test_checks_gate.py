@@ -42,6 +42,15 @@ def test_tests_and_benchmarks_clean_under_relaxed_profile():
     assert report.files_checked > 50
 
 
+def test_examples_clean_under_relaxed_profile():
+    """examples/ are import-inert scripts: main() + __main__ guard."""
+    report = run_checks(
+        [REPO / "examples"], profile="relaxed", config=_gate_config()
+    )
+    assert report.active == [], "\n" + report.render_text()
+    assert report.files_checked > 10
+
+
 def test_every_waiver_in_src_carries_a_reason():
     report = run_checks(
         [REPO / "src"], profile="strict", config=_gate_config()

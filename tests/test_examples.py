@@ -103,6 +103,9 @@ class TestExamples:
         assert "exact" in result.stdout
         assert "round-trip exact: True" in result.stdout
         assert "gap-free session timelines: 16/16" in result.stdout
+        assert "16 bit-exact phase decompositions" in result.stdout
+        assert "self-diff: 0 change(s)" in result.stdout
+        assert "regression=False" in result.stdout
 
     def test_all_examples_present(self):
         names = {p.name for p in EXAMPLES.glob("*.py")}
