@@ -81,6 +81,15 @@ HEADLINES = (
             ("analysis_overhead_ratio", "<= 0.10x"),
         ),
     ),
+    (
+        "BENCH_obs_scale.json",
+        "obs_scale",
+        (
+            ("alpha", "sketch rel-error bound"),
+            ("retained_fraction", "tail-kept share of sessions"),
+            ("memory_budget_ratio", "<= 1.0"),
+        ),
+    ),
 )
 
 

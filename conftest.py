@@ -33,6 +33,7 @@ SMOKE_BENCHES = (
     "bench_prefix.py",
     "bench_resilience.py",
     "bench_observability.py",
+    "bench_obs_scale.py",
 )
 
 

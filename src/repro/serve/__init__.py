@@ -151,6 +151,27 @@ functions of a finished run, never touched on the hot path::
         volume, critical-path rollup, bit-exact hardware attribution,
         SLO attainment — as JSON and markdown
 
+A **bounded-memory streaming layer** keeps observability cost fixed
+while traffic scales (the path to million-session benches)::
+
+    QuantileSketch      deterministic DDSketch-style log-bucketed
+        quantiles with provable relative error alpha, exact count/sum,
+        lossless associative merge, canonical serialization; histograms
+        take ``sketch_alpha=...`` to use it as their backend while
+        still rendering valid round-trippable Prometheus text
+    TailSampler         Dapper-style tail-based trace retention: full
+        span timelines survive only for faulted/stalled, SLO-violating
+        and MAD-outlier sessions plus a deterministic 1-in-N head
+        sample (session-id hash); every terminal session's phase
+        durations fold into sketches first, so population quantiles
+        stay answerable within alpha after the spans are gone
+    SpaceSavingTopK / WindowedSketch / ByteBudgetRing
+        fixed-budget heavy-hitter attribution, zoomable windowed
+        sketch series, and byte-budgeted exemplar rings;
+        ``EngineTelemetry(streaming=True)`` (or
+        ``Observability(streaming=True)``) runs the token-engine
+        telemetry entirely on these — O(1) memory per event
+
 ``benchmarks/bench_observability.py`` gates the plane on a replayed
 fault storm: gap-free span timelines for every completed session,
 attribution equal to recorded busy time bit-for-bit, exact Prometheus
@@ -158,7 +179,11 @@ round-trip, byte-identical repeat-run exports, bounded tracing
 overhead, per-session critical-path sums bit-exact against the
 enqueue→retire interval, self-diff of two seeded replays reporting
 zero deltas (CLI exit 0; perturbed config exit 1), and bounded
-analysis overhead.
+analysis overhead.  ``benchmarks/bench_obs_scale.py`` gates the
+streaming layer: sketched quantiles within the declared alpha of exact
+nearest-rank values, retained records and sketch bytes under fixed
+budgets independent of session count, 100% full-fidelity retention of
+faulted/SLO-violating sessions, and byte-identical seeded replays.
 """
 
 from .batcher import BatchPolicy, MicroBatcher
@@ -188,12 +213,18 @@ from .faults import (
 from .observability import (
     BurnRateMonitor,
     BurnWindow,
+    ByteBudgetRing,
     HardwareAttributionProfiler,
     MetricsRegistry,
     Observability,
+    QuantileSketch,
     SLOSpec,
     SLOTracker,
+    SpaceSavingTopK,
+    TailSampler,
+    TailSamplingPolicy,
     Tracer,
+    WindowedSketch,
     build_flight_report,
     default_windows,
     diff_runs,
@@ -241,6 +272,7 @@ __all__ = [
     "BatchPolicy",
     "BurnRateMonitor",
     "BurnWindow",
+    "ByteBudgetRing",
     "DecodeModelProfile",
     "DecodeServiceModel",
     "DecodeSession",
@@ -262,6 +294,7 @@ __all__ = [
     "Observability",
     "PoolWorker",
     "Priority",
+    "QuantileSketch",
     "RadixPrefixIndex",
     "RequestStatus",
     "RetryPolicy",
@@ -273,9 +306,13 @@ __all__ = [
     "ServiceModel",
     "ServingRuntime",
     "SimulatedClock",
+    "SpaceSavingTopK",
+    "TailSampler",
+    "TailSamplingPolicy",
     "Telemetry",
     "TokenServingEngine",
     "Tracer",
+    "WindowedSketch",
     "WorkerHealth",
     "build_flight_report",
     "build_sessions",

@@ -270,7 +270,8 @@ class TokenServingEngine:
             registry=registry,
         )
         self.clock = SimulatedClock()
-        self.telemetry = EngineTelemetry(registry=registry)
+        streaming = bool(getattr(observability, "streaming", False))
+        self.telemetry = EngineTelemetry(registry=registry, streaming=streaming)
         if self.tracer is not None:
             pool.set_tracer(self.tracer)
         pool.place(
@@ -983,7 +984,7 @@ class TokenServingEngine:
             # The index the upcoming record_step call will occupy,
             # stamped on this step's spans so analysis can join a span
             # back to its exact telemetry record.
-            step_id = len(self.telemetry.steps)
+            step_id = self.telemetry.steps_count()
             step_args = {"step": step_id}
             if self.tracer is not None and t > t_route:
                 # Every replica was busy: the whole step queued behind

@@ -39,6 +39,30 @@ On top of the collection layer sits the **analysis layer**:
   report" JSON/markdown artifacts bundling config, critical path,
   attribution, SLO attainment and outlier exemplars.
 
+And a **bounded-memory streaming layer**, so observability cost stays
+fixed while traffic scales toward the million-session benches:
+
+* :mod:`~repro.serve.observability.quantiles` — the one shared home of
+  the repo's two percentile conventions (nearest-rank for exemplars and
+  gate cross-checks, numpy linear interpolation for telemetry
+  summaries), both rejecting NaN explicitly;
+* :mod:`~repro.serve.observability.sketch` — :class:`QuantileSketch`, a
+  deterministic DDSketch-style log-bucketed summary with a provable
+  relative-error bound ``alpha``, exact count/sum/min/max, lossless
+  associative merge, and canonical serialization;
+* :mod:`~repro.serve.observability.streaming` — fixed-budget streaming
+  aggregators (:class:`SpaceSavingTopK` heavy hitters,
+  :class:`WindowedSketch` zoomable time windows, :class:`ByteBudgetRing`
+  exemplar rings) and the :class:`TailSampler`: Dapper-style tail-based
+  trace retention that keeps *complete* span timelines for
+  faulted/stalled, SLO-violating and MAD-outlier sessions plus a
+  deterministic 1-in-N head sample, folding everything else into
+  sketches and dropping its spans.  Histograms gain an optional sketch
+  backend (``sketch_alpha=...``) that still renders valid Prometheus
+  text, and :class:`~repro.serve.telemetry.EngineTelemetry` gains a
+  ``streaming=True`` mode with O(1)-per-event memory — gated end to end
+  by ``benchmarks/bench_obs_scale.py``.
+
 :class:`Observability` bundles them: pass one instance to
 :class:`~repro.serve.engine.TokenServingEngine` or
 :class:`~repro.serve.runtime.ServingRuntime` and the whole plane wires
@@ -67,13 +91,23 @@ from .metrics import (
     parse_prometheus_text,
 )
 from .profiler import HardwareAttributionProfiler
+from .quantiles import nearest_rank, nearest_rank_value, percentile
 from .report import build_flight_report, report_to_json, report_to_markdown
+from .sketch import MIN_INDEXABLE, QuantileSketch
 from .slo import (
     BurnRateMonitor,
     BurnWindow,
     SLOSpec,
     SLOTracker,
     default_windows,
+)
+from .streaming import (
+    ByteBudgetRing,
+    SpaceSavingTopK,
+    TailSampler,
+    TailSamplingPolicy,
+    WindowedSketch,
+    head_keep,
 )
 from .trace import Instant, Span, Tracer
 
@@ -104,6 +138,17 @@ __all__ = [
     "build_flight_report",
     "report_to_json",
     "report_to_markdown",
+    "nearest_rank",
+    "nearest_rank_value",
+    "percentile",
+    "MIN_INDEXABLE",
+    "QuantileSketch",
+    "SpaceSavingTopK",
+    "WindowedSketch",
+    "ByteBudgetRing",
+    "TailSamplingPolicy",
+    "TailSampler",
+    "head_keep",
 ]
 
 
@@ -113,6 +158,10 @@ class Observability:
     ``tracing=False`` keeps the registry (metrics are always on — they
     are how telemetry records) but skips span emission entirely, the
     baseline configuration the overhead gate compares against.
+    ``streaming=True`` asks attached consumers (the engine's
+    :class:`~repro.serve.telemetry.EngineTelemetry`) to run in
+    bounded-memory streaming mode: sketch-backed latency aggregation
+    instead of per-event record lists.
     """
 
     def __init__(
@@ -120,10 +169,12 @@ class Observability:
         tracing: bool = True,
         registry: Optional[MetricsRegistry] = None,
         slo: Optional[SLOTracker] = None,
+        streaming: bool = False,
     ):
         self.tracer: Optional[Tracer] = Tracer() if tracing else None
         self.registry = registry if registry is not None else MetricsRegistry()
         self.slo = slo
+        self.streaming = bool(streaming)
 
     def profiler(
         self, accelerator=None, strict: bool = True

@@ -30,15 +30,16 @@ byte-identical rollups (the property ``diff.py`` builds on).
 
 from __future__ import annotations
 
-import math
 from typing import Any, Dict, List, Optional, Sequence
+
+from .quantiles import nearest_rank
 
 __all__ = [
     "PHASE_NAMES",
     "session_breakdown",
     "fleet_rollup",
     "mad_outliers",
-    "nearest_rank",
+    "nearest_rank",  # re-exported from .quantiles (shared implementation)
 ]
 
 # Session-track phase span names, in canonical (and tie-break) order.
@@ -65,15 +66,6 @@ def _scaled_ints(values: Sequence[float]) -> tuple:
         [n << (shift - (den.bit_length() - 1)) for n, den in pairs],
         1 << shift,
     )
-
-
-def nearest_rank(values: Sequence[float], q: float) -> int:
-    """Index of the nearest-rank ``q``-th percentile in a sorted list."""
-    if not values:
-        raise ValueError("nearest_rank of an empty sequence")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    return max(0, math.ceil(q / 100.0 * len(values)) - 1)
 
 
 def mad_outliers(
@@ -216,6 +208,7 @@ def fleet_rollup(
     sessions: Sequence,
     worst_k: int = 3,
     outlier_threshold: float = 3.5,
+    sampled=None,
 ) -> Dict[str, Any]:
     """Fleet-level critical-path rollup over completed sessions.
 
@@ -224,7 +217,18 @@ def fleet_rollup(
     split), and per-class blocking analysis: the ``worst_k`` slowest
     sessions by E2E with MAD outlier tags, plus the class outlier
     count.  Ordering is fully deterministic (ties break on session id).
+
+    With ``sampled`` (a
+    :class:`~repro.serve.observability.streaming.TailSampler`), the
+    rollup degrades gracefully to sketch mode: exact breakdowns and
+    exemplars cover only the sessions whose full span timelines survived
+    tail sampling (dropped sessions would fail the gap-free invariant),
+    while an extra ``sampled`` section reports population-wide sketched
+    p50/p90/p99 per folded distribution — the *whole* fleet, kept and
+    dropped alike, within the sampler's ``alpha``.
     """
+    if sampled is not None:
+        sessions = [s for s in sessions if s.session_id in sampled.kept]
     completed = sorted(
         (s for s in sessions if s.finish_time is not None),
         key=lambda s: s.session_id,
@@ -254,6 +258,24 @@ def fleet_rollup(
             for name in PHASE_NAMES
         },
     }
+    if sampled is not None:
+        # Population-wide view from the sampler's fold-in sketches —
+        # available even when *zero* full timelines survived.
+        out["sampled"] = {
+            "kept": len(sampled.kept),
+            "dropped": sampled.dropped,
+            "folded": sampled.folded,
+            "alpha": sampled.policy.alpha,
+            "sketches": {
+                name: {
+                    "count": sketch.count,
+                    "p50_s": sketch.percentile(50.0),
+                    "p90_s": sketch.percentile(90.0),
+                    "p99_s": sketch.percentile(99.0),
+                }
+                for name, sketch in sorted(sampled.sketches.items())
+            },
+        }
     if not breakdowns:
         out["e2e"] = out["ttft"] = None
         out["classes"] = {}

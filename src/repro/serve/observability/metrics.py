@@ -25,8 +25,11 @@ run — so two runs of the same seeded scenario dump byte-identical text.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from .sketch import QuantileSketch
 
 __all__ = [
     "Counter",
@@ -66,7 +69,15 @@ def _fmt(value: float) -> str:
 class _Child:
     """One labelled instance of a metric (a Prometheus 'child')."""
 
-    __slots__ = ("labels", "value", "series", "bucket_counts", "sum", "count")
+    __slots__ = (
+        "labels",
+        "value",
+        "series",
+        "bucket_counts",
+        "sum",
+        "count",
+        "sketch",
+    )
 
     def __init__(self, labels: Tuple[str, ...], buckets: int = 0):
         self.labels = labels
@@ -171,6 +182,20 @@ class Gauge(_Metric):
 
 
 class Histogram(_Metric):
+    """Bucketed by default; ``sketch_alpha`` switches the backend.
+
+    With ``sketch_alpha`` set, each child holds a
+    :class:`~repro.serve.observability.sketch.QuantileSketch` instead of
+    fixed bucket counts: memory follows the observed dynamic range
+    rather than a pre-declared bucket list, :meth:`quantile` answers any
+    percentile within ``alpha``, and the Prometheus rendering stays a
+    valid cumulative histogram (the sketch's log buckets *are* the
+    ``le`` boundaries) that round-trips through
+    :func:`parse_prometheus_text`.  Sketch-backed histograms accept only
+    non-negative values — Prometheus ``le`` boundaries must ascend from
+    the zero bucket.
+    """
+
     kind = "histogram"
 
     def __init__(
@@ -179,25 +204,64 @@ class Histogram(_Metric):
         help: str,
         labelnames: Tuple[str, ...],
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        sketch_alpha: Optional[float] = None,
     ):
-        uppers = tuple(float(b) for b in buckets)
-        if not uppers or any(
-            b >= c for b, c in zip(uppers, uppers[1:])
-        ):
-            raise ValueError(
-                f"buckets must be non-empty and strictly increasing: {buckets}"
-            )
-        self.buckets = uppers
+        if sketch_alpha is not None:
+            sketch_alpha = float(sketch_alpha)
+            if not 0.0 < sketch_alpha < 1.0:
+                raise ValueError(
+                    f"sketch_alpha must be in (0, 1), got {sketch_alpha}"
+                )
+            self.buckets: Tuple[float, ...] = ()
+        else:
+            uppers = tuple(float(b) for b in buckets)
+            if not uppers or any(
+                b >= c for b, c in zip(uppers, uppers[1:])
+            ):
+                raise ValueError(
+                    f"buckets must be non-empty and strictly increasing: "
+                    f"{buckets}"
+                )
+            self.buckets = uppers
+        self.sketch_alpha = sketch_alpha
         super().__init__(name, help, labelnames)
 
     def _make_child(self, key: Tuple[str, ...]) -> _Child:
+        if self.sketch_alpha is not None:
+            child = _Child(key)
+            child.sketch = QuantileSketch(alpha=self.sketch_alpha)
+            return child
         return _Child(key, buckets=len(self.buckets) + 1)  # + the +Inf bucket
 
     def observe(self, value: float, *label_values) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(
+                f"histogram {self.name!r} observed non-finite value {value!r}"
+            )
         child = self.labels(*label_values)
+        if self.sketch_alpha is not None:
+            if value < 0.0:
+                raise ValueError(
+                    f"sketch-backed histogram {self.name!r} observed "
+                    f"negative value {value}"
+                )
+            child.sketch.add(value)
+            return
         child.bucket_counts[bisect_left(self.buckets, value)] += 1
         child.sum += value
         child.count += 1
+
+    def quantile(self, q: float, *label_values) -> Optional[float]:
+        """Sketch-backed percentile (``q`` in [0, 100]); ``None`` while
+        empty.  Bucketed histograms refuse — their fixed buckets cannot
+        honour an error bound."""
+        if self.sketch_alpha is None:
+            raise ValueError(
+                f"histogram {self.name!r} has no sketch backend; construct "
+                f"it with sketch_alpha to query quantiles"
+            )
+        return self.labels(*label_values).sketch.percentile(q)
 
     # Export: the standard bucket/sum/count explosion -------------------
     def _bucket_name(self, labels: Tuple[str, ...], le: str) -> str:
@@ -208,9 +272,32 @@ class Histogram(_Metric):
         sep = "," if inner else ""
         return f'{self.name}_bucket{{{inner}{sep}le="{le}"}}'
 
+    def _sketch_buckets(self, child: _Child) -> List[Tuple[str, int]]:
+        """Cumulative ``(le, count)`` pairs of one sketch-backed child.
+
+        The zero bucket renders at ``le="0.0"`` and each occupied sketch
+        bucket at its exact upper boundary ``gamma**k`` — ascending, so
+        the output is a standard valid Prometheus cumulative histogram.
+        """
+        sketch = child.sketch
+        acc = sketch.zero_count
+        out = [(_fmt(0.0), acc)]
+        for k, n in sketch.positive_bin_items():
+            acc += n
+            out.append((_fmt(sketch.bin_upper(k)), acc))
+        return out
+
     def samples(self) -> Dict[str, float]:
         out: Dict[str, float] = {}
         for key, child in self._children.items():
+            if self.sketch_alpha is not None:
+                for le, acc in self._sketch_buckets(child):
+                    out[self._bucket_name(key, le)] = float(acc)
+                sketch = child.sketch
+                out[self._bucket_name(key, "+Inf")] = float(sketch.count)
+                out[self._series_name(key, "_sum")] = sketch.sum
+                out[self._series_name(key, "_count")] = float(sketch.count)
+                continue
             acc = 0
             for upper, n in zip(self.buckets, child.bucket_counts):
                 acc += n
@@ -226,6 +313,20 @@ class Histogram(_Metric):
             f"# TYPE {self.name} {self.kind}",
         ]
         for key, child in self._children.items():
+            if self.sketch_alpha is not None:
+                for le, acc in self._sketch_buckets(child):
+                    lines.append(f"{self._bucket_name(key, le)} {acc}")
+                sketch = child.sketch
+                lines.append(
+                    f'{self._bucket_name(key, "+Inf")} {sketch.count}'
+                )
+                lines.append(
+                    f"{self._series_name(key, '_sum')} {_fmt(sketch.sum)}"
+                )
+                lines.append(
+                    f"{self._series_name(key, '_count')} {sketch.count}"
+                )
+                continue
             acc = 0
             for upper, n in zip(self.buckets, child.bucket_counts):
                 acc += n
@@ -273,9 +374,15 @@ class MetricsRegistry:
         help: str = "",
         labelnames: Sequence[str] = (),
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        sketch_alpha: Optional[float] = None,
     ) -> Histogram:
         return self._get_or_create(
-            Histogram, name, help, labelnames, buckets=buckets
+            Histogram,
+            name,
+            help,
+            labelnames,
+            buckets=buckets,
+            sketch_alpha=sketch_alpha,
         )
 
     def get(self, name: str) -> Optional[_Metric]:

@@ -1,0 +1,80 @@
+"""Shared quantile primitives for the observability plane.
+
+One home for the two percentile conventions the repo uses, so the
+telemetry summaries, the critical-path rollups, the run exports and the
+sketch gate all agree on *which* value "p99" names:
+
+* :func:`nearest_rank` / :func:`nearest_rank_value` — the classic
+  nearest-rank definition (an actual observed value, never an
+  interpolation), used wherever a percentile must name a *real*
+  session/exemplar and wherever the sketch error gate cross-checks the
+  :class:`~repro.serve.observability.sketch.QuantileSketch` estimate
+  against ground truth;
+* :func:`percentile` — numpy's linear-interpolated percentile, the
+  convention :mod:`repro.serve.telemetry` summaries and the autoscaler
+  control loop were built on (changing their interpolation would move
+  every committed gate number).
+
+Both reject NaN inputs explicitly: a NaN silently poisons sorts (it is
+unordered, so ``sorted`` produces an arbitrary permutation around it)
+and numpy percentiles (the result is NaN), which then propagates into
+committed artifacts as a non-deterministic or useless number.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["nearest_rank", "nearest_rank_value", "percentile"]
+
+
+def _reject_nan(values: Sequence[float], who: str) -> None:
+    for v in values:
+        if isinstance(v, float) and math.isnan(v):
+            raise ValueError(f"{who} got a NaN input value")
+
+
+def nearest_rank(values: Sequence[float], q: float) -> int:
+    """Index of the nearest-rank ``q``-th percentile in a sorted list."""
+    if not values:
+        raise ValueError("nearest_rank of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return max(0, math.ceil(q / 100.0 * len(values)) - 1)
+
+
+def nearest_rank_value(
+    values: Sequence[float], q: float, assume_sorted: bool = False
+) -> float:
+    """The nearest-rank ``q``-th percentile *value* of ``values``.
+
+    Always an element of ``values`` (never interpolated) — the exact
+    ground truth the sketch gate compares
+    :meth:`~repro.serve.observability.sketch.QuantileSketch.percentile`
+    estimates against.  NaN inputs are rejected rather than silently
+    corrupting the sort order.
+    """
+    _reject_nan(values, "nearest_rank_value")
+    ordered: List[float] = (
+        list(values) if assume_sorted else sorted(values)
+    )
+    return ordered[nearest_rank(ordered, q)]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile à la np.percentile; 0.0 for empty
+    input.  ``q`` outside ``[0, 100]`` is rejected explicitly (numpy's
+    own message names its internal parameter, not the caller's bug), as
+    is any NaN input (np.percentile would return NaN instead of
+    flagging the corrupt sample)."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not len(values):
+        return 0.0
+    arr = np.asarray(values, dtype=np.float64)
+    if np.isnan(arr).any():
+        raise ValueError("percentile got a NaN input value")
+    return float(np.percentile(arr, q))

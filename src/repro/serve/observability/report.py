@@ -41,8 +41,14 @@ def build_flight_report(
     accelerator=None,
     worst_k: int = 3,
     now: Optional[float] = None,
+    sampled=None,
 ) -> Dict[str, Any]:
-    """Bundle one traced run's analysis into a single report dict."""
+    """Bundle one traced run's analysis into a single report dict.
+
+    ``sampled`` (a :class:`~.streaming.TailSampler`) switches the
+    critical-path section to sketch mode: exact exemplars over the
+    surviving timelines plus population-wide sketched percentiles.
+    """
     report: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "name": name,
@@ -55,7 +61,7 @@ def build_flight_report(
     sessions = getattr(telemetry, "sessions", None)
     if tracer is not None and sessions:
         report["critical_path"] = fleet_rollup(
-            tracer, sessions, worst_k=worst_k
+            tracer, sessions, worst_k=worst_k, sampled=sampled
         )
     else:
         report["critical_path"] = None
@@ -149,6 +155,31 @@ def report_to_markdown(report: Dict[str, Any]) -> str:
                 )
             )
         lines.append("")
+        sampled = rollup.get("sampled")
+        if sampled is not None:
+            lines += [
+                "### Tail-sampled fleet (sketch mode)",
+                "",
+                f"{sampled['folded']} sessions folded into sketches "
+                f"(alpha {sampled['alpha']}), {sampled['kept']} kept at "
+                f"full fidelity, {sampled['dropped']} dropped",
+                "",
+                _md_row(["distribution", "count", "p50_s", "p99_s"]),
+                _md_row(["---", "---", "---", "---"]),
+            ]
+            for name in sorted(sampled["sketches"]):
+                sketch = sampled["sketches"][name]
+                lines.append(
+                    _md_row(
+                        [
+                            name,
+                            sketch["count"],
+                            _fmt_s(sketch["p50_s"]),
+                            _fmt_s(sketch["p99_s"]),
+                        ]
+                    )
+                )
+            lines.append("")
         for metric, title in (("ttft", "TTFT"), ("e2e", "E2E")):
             block = rollup.get(metric)
             if block is None:

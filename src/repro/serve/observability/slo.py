@@ -23,6 +23,7 @@ decision events and summary — it does not yet act on them.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right, insort
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
@@ -111,6 +112,10 @@ class BurnRateMonitor:
         self.bad = 0
 
     def observe(self, t: float, good: bool) -> None:
+        if not math.isfinite(t):
+            raise ValueError(
+                f"SLO monitor {self.key!r} observed non-finite time {t!r}"
+            )
         if not self._times or t >= self._times[-1]:
             self._times.append(t)
         else:
@@ -210,6 +215,12 @@ class SLOTracker:
         self.alerts_fired: List[Dict[str, Any]] = []
 
     def observe(self, key: str, t: float, good: bool) -> None:
+        # Checked before the lazy monitor creation so a poisoned
+        # timestamp cannot leave an empty monitor behind.
+        if not math.isfinite(t):
+            raise ValueError(
+                f"SLO tracker key {key!r} observed non-finite time {t!r}"
+            )
         monitor = self.monitors.get(key)
         if monitor is None:
             monitor = self.monitors[key] = BurnRateMonitor(self.spec, key)

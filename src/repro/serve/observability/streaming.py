@@ -1,0 +1,582 @@
+"""Bounded-memory streaming aggregators and tail-based trace sampling.
+
+Everything in this module holds its memory *fixed* while the traffic
+grows — the piece the observability plane was missing on the road to
+million-session benches (ROADMAP: "event-driven engine core so benches
+reach millions of sessions"):
+
+* :class:`SpaceSavingTopK` — the space-saving heavy-hitter summary
+  (Metwally, Agrawal & El Abbadi, ICDT '05) under a fixed slot budget,
+  used for per-model/per-class attribution: each reported count carries
+  its worst-case overestimate ``error``, and any key whose true count
+  exceeds the evicted floor is guaranteed present.
+* :class:`WindowedSketch` — per-time-window
+  :class:`~repro.serve.observability.sketch.QuantileSketch` aggregation
+  under a fixed window budget: when the covered time span outgrows the
+  budget the window width doubles and adjacent windows merge pairwise
+  (losslessly — sketch merge is exact), trading resolution for span
+  like a zoomable timeline.
+* :class:`ByteBudgetRing` — a byte-budgeted ring of JSON-able records:
+  appends evict from the head until the canonical-serialized total fits
+  the budget, so raw exemplars can never grow without bound.
+* :class:`TailSampler` — Dapper-style *tail-based* sampling over the
+  :class:`~repro.serve.observability.trace.Tracer`: once a session is
+  terminal, its phase durations are folded into sketches (every
+  terminal session, kept or not — so sketch quantiles describe the full
+  population), and its raw span timeline survives only if the session
+  is *interesting* — faulted/stalled, SLO-violating, a MAD latency
+  outlier — or lands in a deterministic 1-in-N head sample keyed on a
+  session-id hash.  Everything else is dropped from the tracer, an
+  exemplar stub is pushed into the byte-budgeted ring, and memory stops
+  scaling with traffic.
+
+Determinism: the head sample uses a fixed multiplicative integer hash
+of the session id (no :mod:`random`, no iteration-order dependence),
+the outlier rule is the same :func:`~.critical_path.mad_outliers`
+arithmetic the rollups use, and every summary serializes with sorted
+keys — two seeded replays produce byte-identical sampler state.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .critical_path import mad_outliers
+from .sketch import QuantileSketch
+
+__all__ = [
+    "SpaceSavingTopK",
+    "WindowedSketch",
+    "ByteBudgetRing",
+    "TailSamplingPolicy",
+    "TailSampler",
+    "head_keep",
+]
+
+# Knuth's multiplicative hash constant (2654435761 = 2**32 / phi,
+# rounded to an odd integer): a fixed, platform-independent mix of the
+# session id so the head sample is deterministic and spread across
+# arrival order rather than striping it.
+_HASH_MULTIPLIER = 2654435761
+_HASH_MASK = 0xFFFFFFFF
+
+
+def head_keep(session_id: int, rate: int) -> bool:
+    """Deterministic 1-in-``rate`` head-sample membership test."""
+    rate = int(rate)
+    if rate < 1:
+        raise ValueError(f"head-sample rate must be >= 1, got {rate}")
+    if rate == 1:
+        return True
+    return ((int(session_id) * _HASH_MULTIPLIER) & _HASH_MASK) % rate == 0
+
+
+class SpaceSavingTopK:
+    """Heavy-hitter counts for string keys under a fixed slot budget.
+
+    ``add(key, weight)`` either bumps a tracked key, fills a free slot,
+    or evicts the minimum-count key (ties broken lexically, so eviction
+    is deterministic) and inherits its count as the new key's floor —
+    the classic space-saving guarantee: reported ``count`` overestimates
+    the true count by at most the recorded ``error``.
+    """
+
+    __slots__ = ("capacity", "_items", "_evictions")
+
+    def __init__(self, capacity: int):
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError(f"top-k capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: Dict[str, List[int]] = {}  # key -> [count, error]
+        self._evictions = 0
+
+    def add(self, key: str, weight: int = 1) -> None:
+        weight = int(weight)
+        if weight < 1:
+            raise ValueError(f"weight must be a positive int, got {weight}")
+        slot = self._items.get(key)
+        if slot is not None:
+            slot[0] += weight
+            return
+        if len(self._items) < self.capacity:
+            self._items[key] = [weight, 0]
+            return
+        victim = None
+        for name, (count, _err) in self._items.items():
+            if victim is None or (count, name) < victim[:2]:
+                victim = (count, name)
+        floor_count, victim_key = victim
+        del self._items[victim_key]
+        self._items[key] = [floor_count + weight, floor_count]
+        self._evictions += 1
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def count(self, key: str) -> int:
+        slot = self._items.get(key)
+        return slot[0] if slot is not None else 0
+
+    def top(self, k: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Tracked keys, heaviest first (count desc, then key asc)."""
+        ranked = sorted(
+            self._items.items(), key=lambda kv: (-kv[1][0], kv[0])
+        )
+        if k is not None:
+            ranked = ranked[: max(0, int(k))]
+        return [
+            {"key": key, "count": count, "error": error}
+            for key, (count, error) in ranked
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "space_saving",
+            "capacity": self.capacity,
+            "evictions": self._evictions,
+            "items": self.top(),
+        }
+
+
+class WindowedSketch:
+    """Per-window quantile sketches under a fixed window budget.
+
+    Values land in the window containing their timestamp.  When the
+    covered index span would exceed ``max_windows``, the window width
+    doubles and adjacent windows merge pairwise — a lossless
+    compaction (sketch merge is exact), so totals and quantiles over
+    any surviving window remain true for its (wider) interval.
+    """
+
+    __slots__ = ("window_s", "max_windows", "alpha", "_windows", "_compactions")
+
+    def __init__(
+        self, window_s: float, max_windows: int = 64, alpha: float = 0.01
+    ):
+        window_s = float(window_s)
+        if not window_s > 0.0 or not math.isfinite(window_s):
+            raise ValueError(f"window_s must be finite and > 0, got {window_s}")
+        max_windows = int(max_windows)
+        if max_windows < 2:
+            raise ValueError(f"max_windows must be >= 2, got {max_windows}")
+        self.window_s = window_s
+        self.max_windows = max_windows
+        self.alpha = float(alpha)
+        self._windows: Dict[int, QuantileSketch] = {}
+        self._compactions = 0
+
+    def add(self, t: float, value: float) -> None:
+        t = float(t)
+        if not math.isfinite(t):
+            raise ValueError(f"window timestamp must be finite, got {t!r}")
+        if t < 0.0:
+            raise ValueError(f"window timestamp must be >= 0, got {t}")
+        idx = int(math.floor(t / self.window_s))
+        sketch = self._windows.get(idx)
+        if sketch is None:
+            sketch = self._windows[idx] = QuantileSketch(alpha=self.alpha)
+        sketch.add(value)
+        self._compact()
+
+    def _span(self) -> int:
+        if not self._windows:
+            return 0
+        return max(self._windows) - min(self._windows) + 1
+
+    def _compact(self) -> None:
+        while self._span() > self.max_windows:
+            self.window_s *= 2.0
+            merged: Dict[int, QuantileSketch] = {}
+            # For t >= 0, floor(t / 2w) == floor(floor(t / w) / 2), so
+            # halving indices re-bins every value exactly as if it had
+            # been added at the doubled width from the start.
+            for idx in sorted(self._windows):
+                half = idx // 2
+                sketch = merged.get(half)
+                if sketch is None:
+                    merged[half] = self._windows[idx]
+                else:
+                    sketch.merge(self._windows[idx])
+            self._windows = merged
+            self._compactions += 1
+
+    @property
+    def compactions(self) -> int:
+        return self._compactions
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def windows(self) -> List[Tuple[float, QuantileSketch]]:
+        """``(window start time, sketch)`` pairs, ascending."""
+        return [
+            (idx * self.window_s, self._windows[idx])
+            for idx in sorted(self._windows)
+        ]
+
+    def total_count(self) -> int:
+        return sum(sketch.count for sketch in self._windows.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "windowed_sketch",
+            "window_s": self.window_s,
+            "max_windows": self.max_windows,
+            "alpha": self.alpha,
+            "compactions": self._compactions,
+            "windows": {
+                str(idx): self._windows[idx].to_dict()
+                for idx in sorted(self._windows)
+            },
+        }
+
+
+def _canonical_size(record: Any) -> int:
+    return len(
+        json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+    )
+
+
+class ByteBudgetRing:
+    """FIFO ring of JSON-able records under a fixed byte budget.
+
+    Each record is costed at its canonical JSON size plus one separator
+    byte; appends evict the oldest records until the new one fits.  A
+    record larger than the whole budget is counted dropped and never
+    stored, so ``total_bytes <= byte_budget`` is an invariant.
+    """
+
+    __slots__ = ("byte_budget", "_records", "_costs", "_total", "_evicted", "_dropped")
+
+    def __init__(self, byte_budget: int):
+        byte_budget = int(byte_budget)
+        if byte_budget < 1:
+            raise ValueError(f"byte budget must be >= 1, got {byte_budget}")
+        self.byte_budget = byte_budget
+        self._records: List[Any] = []
+        self._costs: List[int] = []
+        self._total = 0
+        self._evicted = 0
+        self._dropped = 0
+
+    def append(self, record: Any) -> bool:
+        """Store ``record``; ``False`` if it alone exceeds the budget."""
+        cost = _canonical_size(record) + 1
+        if cost > self.byte_budget:
+            self._dropped += 1
+            return False
+        while self._total + cost > self.byte_budget:
+            self._total -= self._costs.pop(0)
+            self._records.pop(0)
+            self._evicted += 1
+        self._records.append(record)
+        self._costs.append(cost)
+        self._total += cost
+        return True
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total
+
+    @property
+    def evicted(self) -> int:
+        return self._evicted
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[Any]:
+        return list(self._records)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "byte_ring",
+            "byte_budget": self.byte_budget,
+            "total_bytes": self._total,
+            "evicted": self._evicted,
+            "dropped": self._dropped,
+            "records": list(self._records),
+        }
+
+
+@dataclass(frozen=True)
+class TailSamplingPolicy:
+    """Knobs for :class:`TailSampler` retention.
+
+    ``head_rate`` — keep a deterministic 1-in-``head_rate`` baseline
+    sample regardless of interestingness (1 keeps everything);
+    ``ttft_slo_s`` — sessions whose TTFT misses this (or who never got
+    a first token) are retained as SLO violators when set;
+    ``outlier_threshold`` — MAD modified-z cut for latency outliers;
+    ``alpha`` — relative-error bound of the fold-in sketches;
+    ``exemplar_bytes`` — byte budget for dropped-session exemplar stubs.
+    """
+
+    head_rate: int = 64
+    ttft_slo_s: Optional[float] = None
+    outlier_threshold: float = 3.5
+    alpha: float = 0.01
+    exemplar_bytes: int = 4096
+
+    def __post_init__(self):
+        if int(self.head_rate) < 1:
+            raise ValueError(f"head_rate must be >= 1, got {self.head_rate}")
+        if self.ttft_slo_s is not None and not self.ttft_slo_s > 0.0:
+            raise ValueError(
+                f"ttft_slo_s must be > 0 when set, got {self.ttft_slo_s}"
+            )
+        if not self.outlier_threshold > 0.0:
+            raise ValueError(
+                f"outlier_threshold must be > 0, got {self.outlier_threshold}"
+            )
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if int(self.exemplar_bytes) < 1:
+            raise ValueError(
+                f"exemplar_bytes must be >= 1, got {self.exemplar_bytes}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "head_rate": self.head_rate,
+            "ttft_slo_s": self.ttft_slo_s,
+            "outlier_threshold": self.outlier_threshold,
+            "alpha": self.alpha,
+            "exemplar_bytes": self.exemplar_bytes,
+        }
+
+
+class TailSampler:
+    """Tail-based retention of session span timelines.
+
+    :meth:`sample` visits every *terminal* session not yet decided,
+    folds its E2E / TTFT / per-phase durations into population sketches
+    (kept or not — the sketches always describe the **whole**
+    population, which is what the scale gate's quantile-error check
+    compares against exact nearest-rank values), then drops the span
+    timelines of uninteresting sessions from the tracer.  Retention
+    reasons, most specific first:
+
+    * ``fault`` — preempted, recovered, stalled, or terminally failed;
+    * ``slo`` — TTFT missed ``policy.ttft_slo_s`` (or never produced a
+      first token) when the policy sets an SLO;
+    * ``outlier`` — MAD modified-z latency outlier among this call's
+      completed batch;
+    * ``head`` — deterministic 1-in-N baseline sample.
+
+    Faulted and SLO-violating sessions are therefore *always* kept at
+    full fidelity — the gate's 100%-retention condition by construction.
+    """
+
+    __slots__ = (
+        "policy",
+        "kept",
+        "reasons",
+        "reason_counts",
+        "sketches",
+        "exemplars",
+        "folded",
+        "dropped",
+        "dropped_spans",
+        "dropped_instants",
+        "_decided",
+    )
+
+    def __init__(self, policy: Optional[TailSamplingPolicy] = None):
+        self.policy = policy if policy is not None else TailSamplingPolicy()
+        self.kept: set = set()
+        self.reasons: Dict[int, str] = {}
+        self.reason_counts: Dict[str, int] = {
+            "fault": 0,
+            "slo": 0,
+            "outlier": 0,
+            "head": 0,
+        }
+        self.sketches: Dict[str, QuantileSketch] = {}
+        self.exemplars = ByteBudgetRing(self.policy.exemplar_bytes)
+        self.folded = 0
+        self.dropped = 0
+        self.dropped_spans = 0
+        self.dropped_instants = 0
+        self._decided: set = set()
+
+    def _sketch(self, name: str) -> QuantileSketch:
+        sketch = self.sketches.get(name)
+        if sketch is None:
+            sketch = self.sketches[name] = QuantileSketch(
+                alpha=self.policy.alpha
+            )
+        return sketch
+
+    def _is_terminal(self, session) -> bool:
+        if session.finish_time is not None:
+            return True
+        # Imported here (not at module top) to keep this observability
+        # module loadable before the request layer during package init.
+        from ..request import RequestStatus
+
+        return session.status in (
+            RequestStatus.FAILED,
+            RequestStatus.REJECTED,
+            RequestStatus.EVICTED,
+        )
+
+    def _has_fault(self, tracer, session, track: str) -> bool:
+        if session.preemptions > 0 or getattr(session, "recoveries", 0) > 0:
+            return True
+        from ..request import RequestStatus
+
+        if session.status == RequestStatus.FAILED:
+            return True
+        for record in tracer.span_records(track, session.session_id):
+            if record[2] == "stall":
+                return True
+        return False
+
+    def _violates_slo(self, session) -> bool:
+        slo_s = self.policy.ttft_slo_s
+        if slo_s is None:
+            return False
+        ft = session.first_token_time
+        if ft is None:
+            return True
+        ttft = float(ft) - float(session.arrival_time)
+        return ttft > slo_s
+
+    def _fold(self, tracer, session, track: str) -> None:
+        arr = float(session.arrival_time)
+        fin = session.finish_time
+        if fin is not None:
+            self._sketch("e2e").add(float(fin) - arr)
+        ft = session.first_token_time
+        if ft is not None:
+            self._sketch("ttft").add(float(ft) - arr)
+        for record in tracer.span_records(track, session.session_id):
+            self._sketch(f"phase/{record[2]}").add(record[4] - record[3])
+        self.folded += 1
+
+    def sample(self, tracer, sessions, track: str = "session") -> Dict[str, int]:
+        """Decide retention for newly terminal sessions; drop the rest.
+
+        Safe to call repeatedly (periodic compaction): each session is
+        folded and decided exactly once.  Returns the counts of newly
+        kept and newly dropped sessions.
+        """
+        fresh = [
+            s
+            for s in sorted(sessions, key=lambda s: s.session_id)
+            if s.session_id not in self._decided and self._is_terminal(s)
+        ]
+        if not fresh:
+            return {"kept": 0, "dropped": 0}
+
+        completed = [s for s in fresh if s.finish_time is not None]
+        outlier_ids = set()
+        if completed:
+            tags = mad_outliers(
+                [
+                    float(s.finish_time) - float(s.arrival_time)
+                    for s in completed
+                ],
+                threshold=self.policy.outlier_threshold,
+            )
+            outlier_ids = {
+                s.session_id for s, tag in zip(completed, tags) if tag
+            }
+
+        drop_ids = set()
+        new_kept = 0
+        for session in fresh:
+            sid = session.session_id
+            self._decided.add(sid)
+            self._fold(tracer, session, track)
+            if self._has_fault(tracer, session, track):
+                reason = "fault"
+            elif self._violates_slo(session):
+                reason = "slo"
+            elif sid in outlier_ids:
+                reason = "outlier"
+            elif head_keep(sid, self.policy.head_rate):
+                reason = "head"
+            else:
+                fin = session.finish_time
+                ft = session.first_token_time
+                arr = float(session.arrival_time)
+                self.exemplars.append(
+                    {
+                        "session_id": sid,
+                        "model": session.model,
+                        "priority": int(session.priority),
+                        "e2e_s": (float(fin) - arr) if fin is not None else None,
+                        "ttft_s": (float(ft) - arr) if ft is not None else None,
+                        "status": session.status,
+                    }
+                )
+                drop_ids.add(sid)
+                continue
+            self.kept.add(sid)
+            self.reasons[sid] = reason
+            self.reason_counts[reason] += 1
+            new_kept += 1
+
+        if drop_ids:
+            spans_dropped, instants_dropped = tracer.drop_track_ids(
+                track, drop_ids
+            )
+            self.dropped_spans += spans_dropped
+            self.dropped_instants += instants_dropped
+            self.dropped += len(drop_ids)
+        return {"kept": new_kept, "dropped": len(drop_ids)}
+
+    def byte_size(self) -> int:
+        """Canonical serialized size of all retained sketch state."""
+        return sum(
+            sketch.byte_size() for sketch in self.sketches.values()
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy.to_dict(),
+            "decided": len(self._decided),
+            "kept": len(self.kept),
+            "dropped": self.dropped,
+            "folded": self.folded,
+            "dropped_spans": self.dropped_spans,
+            "dropped_instants": self.dropped_instants,
+            "reason_counts": dict(sorted(self.reason_counts.items())),
+            "kept_ids": sorted(self.kept),
+            "sketches": {
+                name: self.sketches[name].to_dict()
+                for name in sorted(self.sketches)
+            },
+            "sketch_bytes": self.byte_size(),
+            "exemplars": {
+                "count": len(self.exemplars),
+                "total_bytes": self.exemplars.total_bytes,
+                "evicted": self.exemplars.evicted,
+                "dropped": self.exemplars.dropped,
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical dump: seeded replays serialize byte-identically."""
+        return json.dumps(
+            self.summary(), sort_keys=True, separators=(",", ":")
+        )

@@ -252,6 +252,39 @@ class Tracer:
             and (track_id is None or record[1] == track_id)
         ]
 
+    def drop_track_ids(self, track: str, track_ids) -> Tuple[int, int]:
+        """Drop every span/instant of the given ids on one track.
+
+        The tail-sampling compaction path: uninteresting sessions'
+        timelines are removed wholesale after their durations have been
+        folded into sketches.  Returns ``(spans_dropped,
+        instants_dropped)``.  The lazy query index assumes the store is
+        append-only, so a drop resets it; the next indexed query
+        rebuilds from scratch.
+        """
+        doomed = set(track_ids)
+        if not doomed:
+            return (0, 0)
+        kept_spans = [
+            record
+            for record in self._spans
+            if record[0] != track or record[1] not in doomed
+        ]
+        kept_instants = [
+            record
+            for record in self._instants
+            if record[0] != track or record[1] not in doomed
+        ]
+        spans_dropped = len(self._spans) - len(kept_spans)
+        instants_dropped = len(self._instants) - len(kept_instants)
+        self._spans = kept_spans
+        self._instants = kept_instants
+        self._span_index = {}
+        self._span_indexed = 0
+        self._instant_index = {}
+        self._instant_indexed = 0
+        return (spans_dropped, instants_dropped)
+
     def track_ids(self, track: str) -> List[int]:
         self._ensure_index()
         ids = {tid for tr, tid in self._span_index if tr == track}

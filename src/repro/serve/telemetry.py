@@ -20,6 +20,7 @@ control loop reads.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from collections import Counter
 from dataclasses import dataclass, field
@@ -28,25 +29,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .observability.metrics import MetricsRegistry
+from .observability.quantiles import percentile
+from .observability.sketch import QuantileSketch
+from .observability.streaming import SpaceSavingTopK, WindowedSketch
 from .request import InferenceRequest, RequestStatus
 
 __all__ = [
     "EngineTelemetry",
     "Telemetry",
-    "percentile",
+    "percentile",  # re-exported from observability.quantiles (shared impl)
     "summarize_latencies",
 ]
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile à la np.percentile; 0.0 for empty
-    input.  ``q`` outside ``[0, 100]`` is rejected explicitly (numpy's
-    own message names its internal parameter, not the caller's bug)."""
-    if not 0 <= q <= 100:
-        raise ValueError(f"percentile q must be in [0, 100], got {q}")
-    if not len(values):
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
 def summarize_latencies(latencies: Sequence[float]) -> Dict[str, float]:
@@ -447,10 +440,32 @@ class EngineTelemetry:
     :func:`repro.arch.inference.chunked_prefill_latency` and prove the
     engine's accounting matches the analytic hardware model — the same
     cross-check discipline as request-level :class:`Telemetry`.
+
+    ``streaming=True`` switches to **bounded-memory** accounting: no
+    per-session/per-step record lists (``sessions``/``rejected``/
+    ``steps`` stay empty, ``ttfts()`` refuses), latency distributions
+    fold into :class:`~repro.serve.observability.sketch.QuantileSketch`
+    summaries with relative error ``sketch_alpha``, KV occupancy into a
+    fixed-budget :class:`~repro.serve.observability.streaming.WindowedSketch`
+    time series, and per-model/class attribution into a
+    :class:`~repro.serve.observability.streaming.SpaceSavingTopK` —
+    every event costs O(1) amortized memory, so telemetry stops scaling
+    with traffic (the ``bench_obs_scale`` gate).  Exact scalar totals
+    (tokens, counts, makespan, stall, prefix stats) are identical to
+    the record-keeping mode; only the distribution summaries carry the
+    declared ``alpha``.  Streaming gauges update their last value
+    without appending the unbounded ``(t, value)`` series.
     """
 
-    def __init__(self, registry: Optional[MetricsRegistry] = None):
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        streaming: bool = False,
+        sketch_alpha: float = 0.01,
+    ):
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.streaming = bool(streaming)
+        self.sketch_alpha = float(sketch_alpha)
         reg = self.registry
         self._m_sessions = reg.counter(
             "engine_sessions_completed_total",
@@ -515,6 +530,7 @@ class EngineTelemetry:
             "engine_ttft_seconds",
             "Time to first token, by priority class",
             ("priority",),
+            sketch_alpha=self.sketch_alpha if self.streaming else None,
         )
         self._m_kv_occupancy = reg.gauge(
             "engine_kv_occupancy",
@@ -543,6 +559,37 @@ class EngineTelemetry:
         self.replica_crashes = 0
         self.replicas_replaced = 0
         self.health_transitions: List[Dict] = []
+        # Streaming-mode accumulators: O(1) state per event, replacing
+        # the record lists above (which stay empty in streaming mode).
+        alpha = self.sketch_alpha
+        self._steps_n = 0
+        self._active_total = 0
+        self._stall_total = 0.0
+        self._kv_peak_occ = 0.0
+        self._kv_occ_total = 0.0
+        self._kv_peak_blocks = 0
+        self._prefill_priced = 0
+        self._step_sketch = QuantileSketch(alpha=alpha)
+        self._kv_windows = WindowedSketch(
+            window_s=1e-9, max_windows=64, alpha=alpha
+        )
+        self._sessions_n = 0
+        self._sessions_by_class: Counter = Counter()
+        self._rejected_n = 0
+        self._rejected_by_class: Counter = Counter()
+        self._tokens_total = 0
+        self._tpot_span = 0.0
+        self._tpot_tokens = 0
+        self._last_finish = 0.0
+        self._ttft_sketch = QuantileSketch(alpha=alpha)
+        self._ttft_total = 0.0
+        self._ttft_sq_total = 0.0
+        self._ttft_by_class: Dict[int, QuantileSketch] = {}
+        self._e2e_sketch = QuantileSketch(alpha=alpha)
+        self._attribution = SpaceSavingTopK(16)
+        self._prefix_lookups = 0
+        self._prefix_hits = 0
+        self._prefix_saved = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -562,6 +609,30 @@ class EngineTelemetry:
         """Record one engine step; returns its index in ``steps`` (the
         id the scheduler stamps on the step's phase spans, closing the
         span→telemetry causal join the critical-path analysis uses)."""
+        if self.streaming:
+            index = self._steps_n
+            self._steps_n += 1
+            self._active_total += int(active)
+            self._stall_total += float(stall_s)
+            occupancy = float(kv_occupancy)
+            if occupancy > self._kv_peak_occ:
+                self._kv_peak_occ = occupancy
+            self._kv_occ_total += occupancy
+            blocks = int(kv_blocks)
+            if blocks > self._kv_peak_blocks:
+                self._kv_peak_blocks = blocks
+            for _, chunk_len in prefill_chunks:
+                self._prefill_priced += int(chunk_len)
+            self._step_sketch.add(float(step_s))
+            self._kv_windows.add(t, occupancy)
+            self._m_steps.labels(model).inc()
+            # Last-value only: the (t, value) gauge series would grow
+            # with the step count, defeating the memory bound.
+            self._m_kv_occupancy.labels().set(kv_occupancy)
+            self._m_batch_active.labels().set(active)
+            if stall_s > 0.0:
+                self._m_stall.labels().inc(stall_s)
+            return index
         index = len(self.steps)
         self.steps.append(
             _StepRecord(
@@ -585,14 +656,55 @@ class EngineTelemetry:
         return index
 
     def record_session(self, session) -> None:
-        self.sessions.append(session)
+        if self.streaming:
+            self._fold_session(session)
+        else:
+            self.sessions.append(session)
         self._m_sessions.labels(session.model, session.priority).inc()
         self._m_tokens.labels(session.model).inc(session.tokens_generated)
         if session.ttft is not None:
             self._m_ttft.observe(session.ttft, str(session.priority))
 
+    def _fold_session(self, session) -> None:
+        """Streaming-mode completion: fold, never retain the session."""
+        priority = int(session.priority)
+        self._sessions_n += 1
+        self._sessions_by_class[priority] += 1
+        tokens = int(session.tokens_generated)
+        self._tokens_total += tokens
+        fin = session.finish_time
+        if fin is not None:
+            fin = float(fin)
+            if fin > self._last_finish:
+                self._last_finish = fin
+            self._e2e_sketch.add(fin - float(session.arrival_time))
+        ttft = session.ttft
+        if ttft is not None:
+            ttft = float(ttft)
+            self._ttft_sketch.add(ttft)
+            self._ttft_total += ttft
+            self._ttft_sq_total += ttft * ttft
+            by_class = self._ttft_by_class.get(priority)
+            if by_class is None:
+                by_class = self._ttft_by_class[priority] = QuantileSketch(
+                    alpha=self.sketch_alpha
+                )
+            by_class.add(ttft)
+        tpot = session.tpot
+        if tpot is not None:
+            lanes = session.decode_len - 1
+            self._tpot_span += float(tpot) * lanes
+            self._tpot_tokens += lanes
+        self._attribution.add(
+            f"{session.model}/class{priority}", weight=max(1, tokens)
+        )
+
     def record_rejection(self, session) -> None:
-        self.rejected.append(session)
+        if self.streaming:
+            self._rejected_n += 1
+            self._rejected_by_class[int(session.priority)] += 1
+        else:
+            self.rejected.append(session)
         self._m_rejected.labels(session.priority).inc()
 
     def record_preemption(self, session) -> None:
@@ -603,6 +715,12 @@ class EngineTelemetry:
     def record_prefix(self, prompt_tokens: int, cached_tokens: int) -> None:
         """One admission's prefix-cache outcome (lookups only — an
         engine with caching disabled records nothing here)."""
+        if self.streaming:
+            self._prefix_lookups += 1
+            if cached_tokens > 0:
+                self._prefix_hits += 1
+            self._prefix_saved += int(cached_tokens)
+            return
         self.prefix_records.append(_PrefixRecord(prompt_tokens, cached_tokens))
 
     def record_fault(self, kind: str) -> None:
@@ -643,7 +761,11 @@ class EngineTelemetry:
         """A waiting session shed to protect higher classes under
         capacity loss; also counts as a rejection for SLO purposes."""
         self.sessions_shed += 1
-        self.rejected.append(session)
+        if self.streaming:
+            self._rejected_n += 1
+            self._rejected_by_class[int(session.priority)] += 1
+        else:
+            self.rejected.append(session)
         self._m_rejected.labels(session.priority).inc()
 
     def record_kv_loss(self, blocks: int) -> None:
@@ -668,11 +790,29 @@ class EngineTelemetry:
     # Reductions
     # ------------------------------------------------------------------
     def classes_seen(self) -> List[int]:
+        if self.streaming:
+            seen = set(self._sessions_by_class)
+            seen.update(self._rejected_by_class)
+            return sorted(seen)
         seen = {s.priority for s in self.sessions}
         seen.update(s.priority for s in self.rejected)
         return sorted(seen)
 
+    def sessions_count(self) -> int:
+        return self._sessions_n if self.streaming else len(self.sessions)
+
+    def rejected_count(self) -> int:
+        return self._rejected_n if self.streaming else len(self.rejected)
+
+    def steps_count(self) -> int:
+        return self._steps_n if self.streaming else len(self.steps)
+
     def ttfts(self, priority: Optional[int] = None) -> List[float]:
+        if self.streaming:
+            raise ValueError(
+                "streaming telemetry keeps no per-session TTFT list; "
+                "query the summary's sketched percentiles instead"
+            )
         return [
             s.ttft
             for s in self.sessions
@@ -681,6 +821,8 @@ class EngineTelemetry:
         ]
 
     def tokens_generated(self) -> int:
+        if self.streaming:
+            return self._tokens_total
         return sum(s.tokens_generated for s in self.sessions)
 
     def tokens_per_s(self, horizon_s: float) -> float:
@@ -689,12 +831,18 @@ class EngineTelemetry:
         return self.tokens_generated() / horizon_s
 
     def makespan(self) -> float:
+        if self.streaming:
+            return self._last_finish
         if not self.sessions:
             return 0.0
         return max(s.finish_time for s in self.sessions)
 
     def mean_tpot(self) -> float:
         """Pooled time-per-output-token after the first, across sessions."""
+        if self.streaming:
+            if not self._tpot_tokens:
+                return 0.0
+            return self._tpot_span / self._tpot_tokens
         span = 0.0
         tokens = 0
         for s in self.sessions:
@@ -706,11 +854,27 @@ class EngineTelemetry:
         return span / tokens if tokens else 0.0
 
     def mean_batch_size(self) -> float:
+        if self.streaming:
+            if not self._steps_n:
+                return 0.0
+            return self._active_total / self._steps_n
         if not self.steps:
             return 0.0
         return sum(r.active for r in self.steps) / len(self.steps)
 
     def kv_stats(self) -> Dict[str, float]:
+        if self.streaming:
+            if not self._steps_n:
+                return {
+                    "peak_occupancy": 0.0,
+                    "mean_occupancy": 0.0,
+                    "peak_blocks": 0,
+                }
+            return {
+                "peak_occupancy": self._kv_peak_occ,
+                "mean_occupancy": self._kv_occ_total / self._steps_n,
+                "peak_blocks": self._kv_peak_blocks,
+            }
         if not self.steps:
             return {"peak_occupancy": 0.0, "mean_occupancy": 0.0, "peak_blocks": 0}
         occ = [r.kv_occupancy for r in self.steps]
@@ -724,6 +888,8 @@ class EngineTelemetry:
         """Prompt/context tokens whose prefill GEMMs were actually
         scheduled (sum of every step's chunk lengths) — what the prefix
         cache shrinks relative to the tokens sessions *needed* resident."""
+        if self.streaming:
+            return self._prefill_priced
         return sum(q for r in self.steps for _, q in r.prefill_chunks)
 
     def prefix_stats(self) -> Dict[str, float]:
@@ -735,6 +901,19 @@ class EngineTelemetry:
         ``hit_rate`` is the fraction of cache lookups that reused at
         least one token.  Engines with caching disabled report zeros.
         """
+        if self.streaming:
+            saved = self._prefix_saved
+            priced = self.prefill_tokens_priced()
+            lookups = self._prefix_lookups
+            return {
+                "lookups": lookups,
+                "hit_rate": (self._prefix_hits / lookups) if lookups else 0.0,
+                "prefill_tokens_saved": saved,
+                "prefill_tokens_priced": priced,
+                "cached_token_fraction": (
+                    saved / (saved + priced) if saved + priced else 0.0
+                ),
+            }
         saved = sum(r.cached_tokens for r in self.prefix_records)
         priced = self.prefill_tokens_priced()
         lookups = len(self.prefix_records)
@@ -758,8 +937,22 @@ class EngineTelemetry:
 
         ``p99_minus_p50_s`` is the headline jitter number (tail latency
         over the typical first token); ``std_s`` the full-distribution
-        spread.
+        spread.  Streaming mode derives the std from exact running sums
+        and the jitter from sketched percentiles (within ``alpha``).
         """
+        if self.streaming:
+            n = self._ttft_sketch.count
+            if not n:
+                return {"std_s": 0.0, "p99_minus_p50_s": 0.0}
+            mean = self._ttft_total / n
+            variance = max(0.0, self._ttft_sq_total / n - mean * mean)
+            return {
+                "std_s": math.sqrt(variance),
+                "p99_minus_p50_s": (
+                    self._ttft_sketch.percentile(99.0)
+                    - self._ttft_sketch.percentile(50.0)
+                ),
+            }
         ttfts = self.ttfts()
         if not ttfts:
             return {"std_s": 0.0, "p99_minus_p50_s": 0.0}
@@ -775,7 +968,25 @@ class EngineTelemetry:
 
         Rejected sessions count as misses, mirroring request-level SLO
         accounting (shedding is a miss from the caller's side).
+
+        Streaming mode answers from the TTFT sketch's CDF — exact up to
+        bucket resolution at the threshold, i.e. only sessions whose
+        TTFT is within relative ``alpha`` of ``slo_s`` itself can be
+        counted on the wrong side.
         """
+        if self.streaming:
+            if priority is None:
+                sketch = self._ttft_sketch
+                shed = self._rejected_n
+            else:
+                sketch = self._ttft_by_class.get(int(priority))
+                shed = self._rejected_by_class.get(int(priority), 0)
+            n = sketch.count if sketch is not None else 0
+            total = n + shed
+            if total == 0:
+                return 1.0
+            met = sketch.cdf(slo_s) * n if n else 0.0
+            return met / total
         ttfts = self.ttfts(priority=priority)
         shed = sum(
             1
@@ -790,6 +1001,8 @@ class EngineTelemetry:
 
     def stall_time(self) -> float:
         """Total wall time lost to degraded (slow) workers."""
+        if self.streaming:
+            return self._stall_total
         return float(sum(r.stall_s for r in self.steps))
 
     def unavailability_windows(self) -> List[Dict[str, float]]:
@@ -862,24 +1075,69 @@ class EngineTelemetry:
         }
 
     # ------------------------------------------------------------------
+    def _sketched_latency_summary(self, sketch: QuantileSketch) -> Dict[str, float]:
+        """The :func:`summarize_latencies` shape, from a sketch (p50/p95/
+        p99 within ``alpha``; mean and max exact)."""
+        if not sketch.count:
+            return {
+                "p50_s": 0.0,
+                "p95_s": 0.0,
+                "p99_s": 0.0,
+                "mean_s": 0.0,
+                "max_s": 0.0,
+            }
+        return {
+            "p50_s": sketch.percentile(50.0),
+            "p95_s": sketch.percentile(95.0),
+            "p99_s": sketch.percentile(99.0),
+            "mean_s": sketch.sum / sketch.count,
+            "max_s": sketch.max,
+        }
+
     def summary(
         self, horizon_s: float, ttft_slo_s: Optional[float] = None
     ) -> Dict[str, object]:
         """The numbers an LLM-serving dashboard pages on."""
         out: Dict[str, object] = {
-            "sessions": len(self.sessions),
-            "rejected": len(self.rejected),
+            "sessions": self.sessions_count(),
+            "rejected": self.rejected_count(),
             "tokens": self.tokens_generated(),
             "tokens_per_s": self.tokens_per_s(horizon_s),
-            "ttft": summarize_latencies(self.ttfts()),
+            "ttft": (
+                self._sketched_latency_summary(self._ttft_sketch)
+                if self.streaming
+                else summarize_latencies(self.ttfts())
+            ),
             "ttft_jitter": self.ttft_jitter(),
             "tpot_s": self.mean_tpot(),
-            "steps": len(self.steps),
+            "steps": self.steps_count(),
             "mean_batch_size": self.mean_batch_size(),
             "preemptions": self.preemptions,
             "kv": self.kv_stats(),
             "prefix": self.prefix_stats(),
         }
+        if self.streaming:
+            out["streaming"] = {
+                "alpha": self.sketch_alpha,
+                "e2e": self._sketched_latency_summary(self._e2e_sketch),
+                "step": self._sketched_latency_summary(self._step_sketch),
+                "sketch_bytes": (
+                    self._ttft_sketch.byte_size()
+                    + self._e2e_sketch.byte_size()
+                    + self._step_sketch.byte_size()
+                    + sum(
+                        self._ttft_by_class[p].byte_size()
+                        for p in self._ttft_by_class
+                    )
+                ),
+                "attribution_topk": self._attribution.to_dict(),
+                "kv_occupancy_windows": {
+                    "windows": len(self._kv_windows),
+                    "window_s": self._kv_windows.window_s,
+                    "compactions": self._kv_windows.compactions,
+                    "samples": self._kv_windows.total_count(),
+                },
+            }
         if (
             self.faults_injected
             or self.sessions_recovered
@@ -895,14 +1153,22 @@ class EngineTelemetry:
             if classes != [0]:
                 out["per_class"] = {
                     str(p): {
-                        "sessions": sum(
-                            1 for s in self.sessions if s.priority == p
+                        "sessions": (
+                            self._sessions_by_class.get(p, 0)
+                            if self.streaming
+                            else sum(
+                                1 for s in self.sessions if s.priority == p
+                            )
                         ),
-                        "rejected": sum(
-                            1 for s in self.rejected if s.priority == p
+                        "rejected": (
+                            self._rejected_by_class.get(p, 0)
+                            if self.streaming
+                            else sum(
+                                1 for s in self.rejected if s.priority == p
+                            )
                         ),
                         "preemptions": self.preemptions_by_class.get(p, 0),
-                        "ttft_p99_s": percentile(self.ttfts(priority=p), 99),
+                        "ttft_p99_s": self._class_ttft_p99(p),
                         "ttft_slo_attainment": self.ttft_slo_attainment(
                             ttft_slo_s, priority=p
                         ),
@@ -910,3 +1176,11 @@ class EngineTelemetry:
                     for p in classes
                 }
         return out
+
+    def _class_ttft_p99(self, priority: int) -> float:
+        if self.streaming:
+            sketch = self._ttft_by_class.get(int(priority))
+            if sketch is None or not sketch.count:
+                return 0.0
+            return sketch.percentile(99.0)
+        return percentile(self.ttfts(priority=priority), 99)
